@@ -1,0 +1,203 @@
+package mcfs_test
+
+// Benchmark harness regenerating every figure and in-text measurement of
+// the paper's evaluation (§5-6). Rates are operations per VIRTUAL second
+// — the calibrated cost model's output, reported via b.ReportMetric as
+// "vops/s" — so compare shapes and ratios against the paper, not Go
+// wall-clock ns/op. EXPERIMENTS.md records paper-vs-measured for each.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"mcfs"
+)
+
+// benchBudget keeps each benchmark iteration around a second of wall
+// time while still exploring enough states for stable virtual rates.
+const benchBudget = 250
+
+func benchFigure2Row(b *testing.B, label string, targets []mcfs.TargetSpec) {
+	b.Helper()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		row, err := mcfs.RunFigure2Row(label, targets, benchBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = row.OpsPerSec
+	}
+	b.ReportMetric(rate, "vops/s")
+}
+
+// --- E1: Figure 2 — model-checking speed per configuration ---------------
+
+func BenchmarkFigure2_Ext2VsExt4_RAM(b *testing.B) {
+	benchFigure2Row(b, "Ext2 vs Ext4", []mcfs.TargetSpec{{Kind: "ext2"}, {Kind: "ext4"}})
+}
+
+func BenchmarkFigure2_Ext2VsExt4_HDD(b *testing.B) {
+	benchFigure2Row(b, "Ext2 vs Ext4 (HDD)", []mcfs.TargetSpec{
+		{Kind: "ext2", Backing: mcfs.BackingHDD},
+		{Kind: "ext4", Backing: mcfs.BackingHDD},
+	})
+}
+
+func BenchmarkFigure2_Ext2VsExt4_SSD(b *testing.B) {
+	benchFigure2Row(b, "Ext2 vs Ext4 (SSD)", []mcfs.TargetSpec{
+		{Kind: "ext2", Backing: mcfs.BackingSSD},
+		{Kind: "ext4", Backing: mcfs.BackingSSD},
+	})
+}
+
+func BenchmarkFigure2_Ext4VsXFS(b *testing.B) {
+	benchFigure2Row(b, "Ext4 vs XFS", []mcfs.TargetSpec{{Kind: "ext4"}, {Kind: "xfs"}})
+}
+
+func BenchmarkFigure2_Ext4VsJFFS2(b *testing.B) {
+	benchFigure2Row(b, "Ext4 vs JFFS2", []mcfs.TargetSpec{{Kind: "ext4"}, {Kind: "jffs2"}})
+}
+
+func BenchmarkFigure2_VeriFS1VsVeriFS2(b *testing.B) {
+	benchFigure2Row(b, "VeriFS1 vs VeriFS2", []mcfs.TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}})
+}
+
+// --- E3: §6 remount ablation ----------------------------------------------
+
+func BenchmarkRemountAblation_Ext2VsExt4(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := mcfs.RunRemountAblation(benchBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = rows[0].SpeedupPercent
+	}
+	b.ReportMetric(speedup, "%speedup")
+}
+
+func BenchmarkRemountAblation_Ext4VsXFS(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := mcfs.RunRemountAblation(benchBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = rows[1].SpeedupPercent
+	}
+	b.ReportMetric(speedup, "%speedup")
+}
+
+// --- E2: Figure 3 — two-week VeriFS1 run ----------------------------------
+
+func BenchmarkFigure3_TwoWeekRun(b *testing.B) {
+	var initial, minimum, final, swapGB float64
+	for i := 0; i < b.N; i++ {
+		points, err := mcfs.RunFigure3(mcfs.Figure3Config{Days: 14})
+		if err != nil {
+			b.Fatal(err)
+		}
+		initial = points[0].OpsPerSec
+		minimum = initial
+		for _, p := range points {
+			if p.OpsPerSec < minimum {
+				minimum = p.OpsPerSec
+			}
+		}
+		final = points[len(points)-1].OpsPerSec
+		swapGB = points[len(points)-1].SwapGB
+	}
+	b.ReportMetric(initial, "initial_vops/s")
+	b.ReportMetric(minimum, "crash_min_vops/s")
+	b.ReportMetric(final, "final_vops/s")
+	b.ReportMetric(swapGB, "final_swap_GB")
+}
+
+// --- E4/E5: §6 bug hunts ----------------------------------------------------
+
+func benchBugHunt(b *testing.B, targets []mcfs.TargetSpec) {
+	b.Helper()
+	var opsToFind float64
+	for i := 0; i < b.N; i++ {
+		s, err := mcfs.NewSession(mcfs.Options{
+			Targets:  targets,
+			MaxDepth: 3,
+			MaxOps:   200000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := s.Run()
+		s.Close()
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if res.Bug == nil {
+			b.Fatal("seeded bug not found")
+		}
+		opsToFind = float64(res.Bug.OpsExecuted)
+	}
+	b.ReportMetric(opsToFind, "ops_to_find")
+}
+
+func BenchmarkBugHunt_VeriFS1_TruncateNoZero(b *testing.B) {
+	benchBugHunt(b, []mcfs.TargetSpec{
+		{Kind: "ext4"},
+		{Kind: "verifs1", Bugs: []string{mcfs.BugTruncateNoZero}},
+	})
+}
+
+func BenchmarkBugHunt_VeriFS1_NoCacheInvalidate(b *testing.B) {
+	benchBugHunt(b, []mcfs.TargetSpec{
+		{Kind: "ext4"},
+		{Kind: "verifs1", Bugs: []string{mcfs.BugNoCacheInvalidate}},
+	})
+}
+
+func BenchmarkBugHunt_VeriFS2_WriteHoleNoZero(b *testing.B) {
+	benchBugHunt(b, []mcfs.TargetSpec{
+		{Kind: "verifs1"},
+		{Kind: "verifs2", Bugs: []string{mcfs.BugWriteHoleNoZero}},
+	})
+}
+
+func BenchmarkBugHunt_VeriFS2_SizeUpdateOnOverflow(b *testing.B) {
+	benchBugHunt(b, []mcfs.TargetSpec{
+		{Kind: "verifs1"},
+		{Kind: "verifs2", Bugs: []string{mcfs.BugSizeUpdateOnOverflow}},
+	})
+}
+
+// --- E6: §5 VM snapshot tracking --------------------------------------------
+
+func BenchmarkVMSnapshotTracker(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		r, err := mcfs.VMSnapshotRate(150)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = r
+	}
+	b.ReportMetric(rate, "vops/s")
+}
+
+// --- E9: §5 soak projection ---------------------------------------------------
+
+func BenchmarkSoakProjection(b *testing.B) {
+	var projected float64
+	for i := 0; i < b.N; i++ {
+		res, err := mcfs.RunSoak(1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.DiscrepancyFound {
+			b.Fatal("soak found a discrepancy")
+		}
+		projected = res.ProjectedSyscallsPer5Days
+	}
+	b.ReportMetric(projected/1e6, "Msyscalls_5days")
+}

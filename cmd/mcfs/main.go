@@ -1,0 +1,140 @@
+// Command mcfs model-checks two (or more) file systems against each
+// other, reporting the first behavioral discrepancy with the precise
+// operation trail that produced it.
+//
+// Usage:
+//
+//	mcfs -fs ext2 -fs ext4 [-depth 3] [-max-ops 100000] [-seed 0]
+//	     [-bug name] [-backing ram|ssd|hdd] [-no-remount] [-swarm N]
+//
+// Supported -fs kinds: ext2, ext4, xfs, jffs2, verifs1, verifs2.
+// Seedable -bug names (applied to the LAST -fs target):
+// truncate-no-zero, no-cache-invalidate, write-hole-no-zero,
+// size-update-on-overflow.
+//
+// Examples:
+//
+//	mcfs -fs ext2 -fs ext4                  # cross-check two kernel FSes
+//	mcfs -fs verifs1 -fs verifs2            # checkpoint/restore tracking
+//	mcfs -fs verifs1 -fs verifs2 -bug write-hole-no-zero
+//	mcfs -fs verifs1 -fs verifs2 -swarm 4   # swarm verification
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mcfs"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var fsKinds, bugs stringList
+	flag.Var(&fsKinds, "fs", "file system under test (repeat; at least two)")
+	flag.Var(&bugs, "bug", "seed a named bug into the last -fs target (repeatable)")
+	depth := flag.Int("depth", 3, "maximum operation-sequence depth")
+	maxOps := flag.Int64("max-ops", 100000, "operation budget (0 = unlimited)")
+	maxStates := flag.Int64("max-states", 0, "unique-state budget (0 = unlimited)")
+	seed := flag.Int64("seed", 0, "search-order seed (0 = deterministic enumeration)")
+	backing := flag.String("backing", "ram", "device backing for kernel FSes: ram, ssd, hdd")
+	noRemount := flag.Bool("no-remount", false, "disable per-operation remounts for kernel FSes")
+	swarm := flag.Int("swarm", 0, "run N diversified workers in parallel (0 = single engine)")
+	majority := flag.Bool("majority", false, "with 3+ targets, identify the deviating minority (majority voting)")
+	flag.Parse()
+
+	if len(fsKinds) < 2 {
+		fmt.Fprintln(os.Stderr, "mcfs: need at least two -fs targets")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	buildOptions := func() mcfs.Options {
+		targets := make([]mcfs.TargetSpec, len(fsKinds))
+		for i, kind := range fsKinds {
+			targets[i] = mcfs.TargetSpec{
+				Kind:                kind,
+				Backing:             mcfs.Backing(*backing),
+				DisablePerOpRemount: *noRemount,
+			}
+		}
+		targets[len(targets)-1].Bugs = bugs
+		return mcfs.Options{
+			Targets:      targets,
+			MaxDepth:     *depth,
+			MaxOps:       *maxOps,
+			MaxStates:    *maxStates,
+			Seed:         *seed,
+			MajorityVote: *majority,
+		}
+	}
+
+	if *swarm > 0 {
+		results, err := mcfs.Swarm(*swarm, func(seed int64) (mcfs.Options, error) {
+			return buildOptions(), nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
+			os.Exit(1)
+		}
+		exit := 0
+		for i, res := range results {
+			fmt.Printf("--- worker %d ---\n", i+1)
+			printResult(res)
+			if res.Bug != nil {
+				exit = 3
+			}
+		}
+		os.Exit(exit)
+	}
+
+	session, err := mcfs.NewSession(buildOptions())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
+		os.Exit(1)
+	}
+	defer session.Close()
+	res := session.Run()
+	printResult(res)
+	fmt.Printf("syscalls executed: %d\n", session.Kernel().SyscallCount())
+	if res.Bug != nil {
+		os.Exit(3)
+	}
+	if res.Err != nil {
+		os.Exit(1)
+	}
+}
+
+func printResult(res mcfs.Result) {
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "engine error: %v\n", res.Err)
+		return
+	}
+	fmt.Printf("operations executed:  %d\n", res.Ops)
+	fmt.Printf("unique states:        %d\n", res.UniqueStates)
+	fmt.Printf("revisited states:     %d\n", res.Revisits)
+	fmt.Printf("virtual elapsed:      %v\n", res.Elapsed)
+	fmt.Printf("model-checking speed: %.1f ops/s\n", res.Rate)
+	if res.Bug == nil {
+		fmt.Println("no discrepancies found")
+		return
+	}
+	fmt.Printf("\nDISCREPANCY after %d operations:\n%v\n", res.Bug.OpsExecuted, res.Bug.Discrepancy)
+	fmt.Printf("trail:\n%s", trailOf(res.Bug))
+}
+
+func trailOf(b *mcfs.BugReport) string {
+	out := ""
+	for i, op := range b.Trail {
+		out += fmt.Sprintf("%3d. %s\n", i+1, op)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+// Crosscheck: model-check two kernel file systems (ext2 vs ext4) the way
+// the paper's Figure 1 shows — mounted on RAM block devices, state
+// tracked by snapshotting the device image, coherency maintained by
+// unmounting and remounting around every operation (§3.2, §4).
+//
+// The example also demonstrates driving the simulated kernel's syscall
+// interface directly and asking the checker to verify that the targets
+// still agree.
+//
+// Run with:
+//
+//	go run ./examples/crosscheck
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcfs"
+	"mcfs/internal/vfs"
+)
+
+func main() {
+	session, err := mcfs.NewSession(mcfs.Options{
+		Targets: []mcfs.TargetSpec{
+			{Kind: "ext2"}, // 256 KiB RAM device, no journal
+			{Kind: "ext4"}, // 256 KiB RAM device with a journal
+		},
+		MaxDepth: 3,
+		MaxOps:   1500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer session.Close()
+
+	// Part 1: drive both file systems by hand through the kernel's
+	// syscall interface. The session mounts target i at /mnt<i>.
+	k := session.Kernel()
+	for _, mnt := range []string{"/mnt0", "/mnt1"} {
+		if e := k.Mkdir(mnt+"/dir", 0755); !e.IsOK() {
+			log.Fatalf("mkdir on %s: %v", mnt, e)
+		}
+		fd, e := k.Open(mnt+"/dir/hello", vfs.OCreate|vfs.OWrOnly, 0644)
+		if !e.IsOK() {
+			log.Fatalf("open on %s: %v", mnt, e)
+		}
+		if _, e := k.WriteFD(fd, []byte("same content on both")); !e.IsOK() {
+			log.Fatalf("write on %s: %v", mnt, e)
+		}
+		if e := k.Close(fd); !e.IsOK() {
+			log.Fatal(e)
+		}
+	}
+	d, err := session.Verify()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if d != nil {
+		log.Fatalf("hand-driven states diverged: %v", d)
+	}
+	fmt.Println("manual writes: ext2 and ext4 agree (lost+found and directory-size differences normalized)")
+
+	// Part 2: exhaustive bounded exploration.
+	result := session.Run()
+	if result.Err != nil {
+		log.Fatal(result.Err)
+	}
+	fmt.Printf("explored %d operations, %d unique states, %d revisits\n",
+		result.Ops, result.UniqueStates, result.Revisits)
+	fmt.Printf("speed with per-operation remounts: %.0f ops per virtual second\n", result.Rate)
+	if result.Bug != nil {
+		fmt.Printf("discrepancy: %v\n", result.Bug)
+		return
+	}
+	fmt.Println("no discrepancies between ext2 and ext4")
+}

@@ -1,0 +1,58 @@
+// Swarm: run several diversified model-checking workers in parallel —
+// Spin's swarm verification (§2, §7).
+//
+// Each worker gets its own kernel, file system instances, and a distinct
+// search-order seed, so the workers explore different corners of the
+// state space. With a seeded bug, some workers stumble onto it within a
+// small budget while others do not — the point of diversification.
+//
+// Run with:
+//
+//	go run ./examples/swarm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcfs"
+)
+
+func main() {
+	const workers = 6
+	results, err := mcfs.Swarm(workers, func(seed int64) (mcfs.Options, error) {
+		return mcfs.Options{
+			Targets: []mcfs.TargetSpec{
+				{Kind: "verifs1"},
+				{Kind: "verifs2", Bugs: []string{mcfs.BugSizeUpdateOnOverflow}},
+			},
+			MaxDepth: 3,
+			MaxOps:   1500, // deliberately small per-worker budget
+		}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	found := 0
+	var firstTrailLen int
+	for i, r := range results {
+		if r.Err != nil {
+			log.Fatalf("worker %d: %v", i+1, r.Err)
+		}
+		status := "no discrepancy in budget"
+		if r.Bug != nil {
+			found++
+			status = fmt.Sprintf("FOUND after %d ops (trail length %d)", r.Bug.OpsExecuted, len(r.Bug.Trail))
+			if firstTrailLen == 0 {
+				firstTrailLen = len(r.Bug.Trail)
+			}
+		}
+		fmt.Printf("worker %d (seed %d): %d ops, %d unique states — %s\n",
+			i+1, i+1, r.Ops, r.UniqueStates, status)
+	}
+	fmt.Printf("\n%d of %d diversified workers found the seeded bug\n", found, workers)
+	if found == 0 {
+		fmt.Println("(increase MaxOps or add workers — diversification is probabilistic)")
+	}
+}

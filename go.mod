@@ -1,0 +1,3 @@
+module mcfs
+
+go 1.22

@@ -1,0 +1,67 @@
+package abstraction
+
+import (
+	"fmt"
+	"testing"
+
+	"mcfs/internal/errno"
+	"mcfs/internal/fs/verifs2"
+	"mcfs/internal/kernel"
+	"mcfs/internal/simclock"
+	"mcfs/internal/vfs"
+)
+
+// BenchmarkHash measures Algorithm 1 over a populated tree — the
+// dominant per-operation cost of the whole model checker.
+func BenchmarkHash(b *testing.B) {
+	clk := simclock.New()
+	k := kernel.New(clk)
+	f := verifs2.New(clk)
+	if err := k.Mount("/mnt", kernel.FilesystemSpec{
+		Type:    "verifs2",
+		Mounter: func() (vfs.FS, error) { return f, nil },
+	}, kernel.MountOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	for d := 0; d < 3; d++ {
+		dir := fmt.Sprintf("/mnt/d%d", d)
+		if e := k.Mkdir(dir, 0755); e != errno.OK {
+			b.Fatal(e)
+		}
+		for i := 0; i < 5; i++ {
+			fd, e := k.Open(fmt.Sprintf("%s/f%d", dir, i), vfs.OCreate|vfs.OWrOnly, 0644)
+			if e != errno.OK {
+				b.Fatal(e)
+			}
+			if _, e := k.WriteFD(fd, make([]byte, 2048)); e != errno.OK {
+				b.Fatal(e)
+			}
+			k.Close(fd)
+		}
+	}
+	opts := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, e := Hash(k, "/mnt", opts); e != errno.OK {
+			b.Fatal(e)
+		}
+	}
+}
+
+// BenchmarkSnapshotDiff measures the record diff used in discrepancy
+// reports.
+func BenchmarkSnapshotDiff(b *testing.B) {
+	recs := make([]Record, 100)
+	for i := range recs {
+		recs[i] = Record{Path: fmt.Sprintf("/f%03d", i), Kind: "file", Size: int64(i)}
+	}
+	other := append([]Record(nil), recs...)
+	other[50].Size = 9999
+	opts := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := Diff(recs, other, opts); len(d) != 1 {
+			b.Fatal("diff broken")
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package blockdev
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mcfs/internal/simclock"
+)
+
+// MTD simulates an in-RAM flash character device, the stand-in for the
+// mtdram kernel module the paper loads so JFFS2 has a device to mount.
+//
+// Flash semantics: the device is divided into erase blocks; bits can only
+// be programmed from the erased state (0xFF) toward 0, so rewriting a
+// region requires erasing its whole block first. JFFS2 is log-structured
+// precisely to live within these rules.
+type MTD struct {
+	mu         sync.Mutex
+	name       string
+	data       []byte
+	eraseSize  int
+	clock      *simclock.Clock
+	eraseCount []int64 // per-block erase counter (wear tracking)
+
+	programCost time.Duration // per KiB programmed
+	eraseCost   time.Duration // per block erase
+}
+
+// NewMTD returns a flash device of the given size with the given erase
+// block size. Size must be a multiple of eraseSize. The device starts
+// fully erased (all 0xFF).
+func NewMTD(name string, size int64, eraseSize int, clock *simclock.Clock) *MTD {
+	if eraseSize <= 0 || size <= 0 || size%int64(eraseSize) != 0 {
+		panic(fmt.Sprintf("blockdev: bad MTD geometry size=%d erase=%d", size, eraseSize))
+	}
+	m := &MTD{
+		name:        name,
+		data:        make([]byte, size),
+		eraseSize:   eraseSize,
+		clock:       clock,
+		eraseCount:  make([]int64, size/int64(eraseSize)),
+		programCost: 8 * time.Microsecond, // NOR-flash-like program speed per KiB
+		eraseCost:   400 * time.Microsecond,
+	}
+	for i := range m.data {
+		m.data[i] = 0xFF
+	}
+	return m
+}
+
+// ErrNotErased is returned when a program operation would need to flip a
+// bit from 0 to 1, which flash cannot do without an erase.
+var ErrNotErased = fmt.Errorf("blockdev: programming non-erased flash")
+
+// Size returns the device capacity in bytes.
+func (m *MTD) Size() int64 { return int64(len(m.data)) }
+
+// EraseSize returns the erase block size in bytes.
+func (m *MTD) EraseSize() int { return m.eraseSize }
+
+// Name identifies the device in logs.
+func (m *MTD) Name() string { return m.name }
+
+// ReadAt fills p from flash starting at off.
+func (m *MTD) ReadAt(p []byte, off int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(m.data)) {
+		return fmt.Errorf("%w: off=%d len=%d size=%d dev=%s", ErrOutOfRange, off, len(p), len(m.data), m.name)
+	}
+	copy(p, m.data[off:])
+	m.charge(time.Duration((len(p)+1023)/1024) * time.Microsecond)
+	return nil
+}
+
+// Program writes p at off. Every byte written must only clear bits (the
+// region must have been erased, or already hold a superset of the bits).
+func (m *MTD) Program(p []byte, off int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(m.data)) {
+		return fmt.Errorf("%w: off=%d len=%d size=%d dev=%s", ErrOutOfRange, off, len(p), len(m.data), m.name)
+	}
+	for i, b := range p {
+		cur := m.data[off+int64(i)]
+		if cur&b != b {
+			return fmt.Errorf("%w: off=%d dev=%s", ErrNotErased, off+int64(i), m.name)
+		}
+	}
+	copy(m.data[off:], p)
+	m.charge(time.Duration((len(p)+1023)/1024) * m.programCost)
+	return nil
+}
+
+// Erase resets erase block idx to all 0xFF.
+func (m *MTD) Erase(idx int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if idx < 0 || idx >= len(m.eraseCount) {
+		return fmt.Errorf("%w: erase block %d of %d dev=%s", ErrOutOfRange, idx, len(m.eraseCount), m.name)
+	}
+	start := idx * m.eraseSize
+	for i := 0; i < m.eraseSize; i++ {
+		m.data[start+i] = 0xFF
+	}
+	m.eraseCount[idx]++
+	m.charge(m.eraseCost)
+	return nil
+}
+
+// EraseCounts returns a copy of the per-block erase counters.
+func (m *MTD) EraseCounts() []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int64, len(m.eraseCount))
+	copy(out, m.eraseCount)
+	return out
+}
+
+func (m *MTD) charge(d time.Duration) {
+	if m.clock != nil {
+		m.clock.Advance(d)
+	}
+}
+
+// MTDBlock bridges an MTD device to the Device interface, the stand-in
+// for the mtdblock kernel module. The paper loads mtdblock so that Spin
+// can mmap the flash contents through a block device; MCFS likewise takes
+// snapshots of JFFS2's persistent state through this bridge.
+//
+// Like the real mtdblock, writes are implemented read-modify-erase-program
+// on whole erase blocks, which is slow and wears the flash; JFFS2 itself
+// never writes through the bridge (it programs the MTD directly), the
+// bridge exists for state capture.
+type MTDBlock struct {
+	mtd *MTD
+}
+
+// NewMTDBlock wraps an MTD device in the block interface.
+func NewMTDBlock(mtd *MTD) *MTDBlock { return &MTDBlock{mtd: mtd} }
+
+// ReadAt implements Device.
+func (b *MTDBlock) ReadAt(p []byte, off int64) error { return b.mtd.ReadAt(p, off) }
+
+// WriteAt implements Device via read-modify-erase-program of every erase
+// block the range touches.
+func (b *MTDBlock) WriteAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > b.mtd.Size() {
+		return fmt.Errorf("%w: off=%d len=%d size=%d dev=%s", ErrOutOfRange, off, len(p), b.mtd.Size(), b.mtd.Name())
+	}
+	es := int64(b.mtd.EraseSize())
+	for len(p) > 0 {
+		blk := off / es
+		blkStart := blk * es
+		// Read the whole erase block, merge, erase, reprogram.
+		buf := make([]byte, es)
+		if err := b.mtd.ReadAt(buf, blkStart); err != nil {
+			return err
+		}
+		n := copy(buf[off-blkStart:], p)
+		if err := b.mtd.Erase(int(blk)); err != nil {
+			return err
+		}
+		if err := b.mtd.Program(buf, blkStart); err != nil {
+			return err
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// Size implements Device.
+func (b *MTDBlock) Size() int64 { return b.mtd.Size() }
+
+// BlockSize implements Device.
+func (b *MTDBlock) BlockSize() int { return b.mtd.EraseSize() }
+
+// Sync implements Device; flash has no volatile cache, so this is a no-op.
+func (b *MTDBlock) Sync() error { return nil }
+
+// Snapshot implements Device.
+func (b *MTDBlock) Snapshot() ([]byte, error) {
+	img := make([]byte, b.mtd.Size())
+	if err := b.mtd.ReadAt(img, 0); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// Restore implements Device.
+func (b *MTDBlock) Restore(img []byte) error {
+	if int64(len(img)) != b.mtd.Size() {
+		return fmt.Errorf("blockdev: restore image size %d != device size %d (%s)", len(img), b.mtd.Size(), b.mtd.Name())
+	}
+	es := b.mtd.EraseSize()
+	for blk := 0; int64(blk*es) < b.mtd.Size(); blk++ {
+		if err := b.mtd.Erase(blk); err != nil {
+			return err
+		}
+		if err := b.mtd.Program(img[blk*es:(blk+1)*es], int64(blk*es)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Name implements Device.
+func (b *MTDBlock) Name() string { return b.mtd.Name() + "block" }

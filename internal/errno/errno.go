@@ -1,0 +1,149 @@
+// Package errno defines the POSIX error numbers that MCFS uses as the
+// common language for comparing error behavior across file systems.
+//
+// Every file system under test reports failures as an Errno. The integrity
+// checker (internal/checker) asserts that all file systems return the same
+// Errno for the same operation; a simulated kernel never surfaces Go error
+// values to the driver, only Errnos, mirroring how the paper's prototype
+// compares raw syscall return values.
+package errno
+
+import "fmt"
+
+// Errno is a POSIX error number. The zero value, OK, means success.
+type Errno int
+
+// The subset of POSIX error numbers that file system operations produce.
+// Values match Linux/x86-64 so traces read naturally next to strace output.
+const (
+	OK           Errno = 0
+	EPERM        Errno = 1   // operation not permitted
+	ENOENT       Errno = 2   // no such file or directory
+	EIO          Errno = 5   // I/O error
+	EBADF        Errno = 9   // bad file descriptor
+	EAGAIN       Errno = 11  // resource temporarily unavailable
+	ENOMEM       Errno = 12  // out of memory
+	EACCES       Errno = 13  // permission denied
+	EBUSY        Errno = 16  // device or resource busy
+	EEXIST       Errno = 17  // file exists
+	EXDEV        Errno = 18  // invalid cross-device link
+	ENODEV       Errno = 19  // no such device
+	ENOTDIR      Errno = 20  // not a directory
+	EISDIR       Errno = 21  // is a directory
+	EINVAL       Errno = 22  // invalid argument
+	ENFILE       Errno = 23  // too many open files in system
+	EMFILE       Errno = 24  // too many open files
+	EFBIG        Errno = 27  // file too large
+	ENOSPC       Errno = 28  // no space left on device
+	EROFS        Errno = 30  // read-only file system
+	EMLINK       Errno = 31  // too many links
+	ERANGE       Errno = 34  // result too large
+	ENAMETOOLONG Errno = 36  // file name too long
+	ENOSYS       Errno = 38  // function not implemented
+	ENOTEMPTY    Errno = 39  // directory not empty
+	ELOOP        Errno = 40  // too many levels of symbolic links
+	ENODATA      Errno = 61  // no data available (missing xattr)
+	EOVERFLOW    Errno = 75  // value too large for defined data type
+	ENOTSUP      Errno = 95  // operation not supported
+	EDQUOT       Errno = 122 // disk quota exceeded
+)
+
+var names = map[Errno]string{
+	OK:           "OK",
+	EPERM:        "EPERM",
+	ENOENT:       "ENOENT",
+	EIO:          "EIO",
+	EBADF:        "EBADF",
+	EAGAIN:       "EAGAIN",
+	ENOMEM:       "ENOMEM",
+	EACCES:       "EACCES",
+	EBUSY:        "EBUSY",
+	EEXIST:       "EEXIST",
+	EXDEV:        "EXDEV",
+	ENODEV:       "ENODEV",
+	ENOTDIR:      "ENOTDIR",
+	EISDIR:       "EISDIR",
+	EINVAL:       "EINVAL",
+	ENFILE:       "ENFILE",
+	EMFILE:       "EMFILE",
+	EFBIG:        "EFBIG",
+	ENOSPC:       "ENOSPC",
+	EROFS:        "EROFS",
+	EMLINK:       "EMLINK",
+	ERANGE:       "ERANGE",
+	ENAMETOOLONG: "ENAMETOOLONG",
+	ENOSYS:       "ENOSYS",
+	ENOTEMPTY:    "ENOTEMPTY",
+	ELOOP:        "ELOOP",
+	ENODATA:      "ENODATA",
+	EOVERFLOW:    "EOVERFLOW",
+	ENOTSUP:      "ENOTSUP",
+	EDQUOT:       "EDQUOT",
+}
+
+var messages = map[Errno]string{
+	OK:           "success",
+	EPERM:        "operation not permitted",
+	ENOENT:       "no such file or directory",
+	EIO:          "input/output error",
+	EBADF:        "bad file descriptor",
+	EAGAIN:       "resource temporarily unavailable",
+	ENOMEM:       "cannot allocate memory",
+	EACCES:       "permission denied",
+	EBUSY:        "device or resource busy",
+	EEXIST:       "file exists",
+	EXDEV:        "invalid cross-device link",
+	ENODEV:       "no such device",
+	ENOTDIR:      "not a directory",
+	EISDIR:       "is a directory",
+	EINVAL:       "invalid argument",
+	ENFILE:       "too many open files in system",
+	EMFILE:       "too many open files",
+	EFBIG:        "file too large",
+	ENOSPC:       "no space left on device",
+	EROFS:        "read-only file system",
+	EMLINK:       "too many links",
+	ERANGE:       "numerical result out of range",
+	ENAMETOOLONG: "file name too long",
+	ENOSYS:       "function not implemented",
+	ENOTEMPTY:    "directory not empty",
+	ELOOP:        "too many levels of symbolic links",
+	ENODATA:      "no data available",
+	EOVERFLOW:    "value too large for defined data type",
+	ENOTSUP:      "operation not supported",
+	EDQUOT:       "disk quota exceeded",
+}
+
+// String returns the symbolic name, e.g. "ENOENT". Unknown values render
+// as "errno(N)".
+func (e Errno) String() string {
+	if s, ok := names[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("errno(%d)", int(e))
+}
+
+// Error implements the error interface so an Errno can flow through code
+// expecting error. OK should never be used as an error value.
+func (e Errno) Error() string {
+	if m, ok := messages[e]; ok {
+		return m
+	}
+	return fmt.Sprintf("errno %d", int(e))
+}
+
+// IsOK reports whether e represents success.
+func (e Errno) IsOK() bool { return e == OK }
+
+// FromError converts an error back to an Errno. A nil error is OK, an
+// Errno is returned unchanged, and anything else maps to EIO (the kernel's
+// catch-all for unexpected lower-layer failures).
+func FromError(err error) Errno {
+	if err == nil {
+		return OK
+	}
+	if e, ok := err.(Errno); ok {
+		return e
+	}
+	return EIO
+}

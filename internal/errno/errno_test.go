@@ -1,0 +1,84 @@
+package errno
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestStringNames(t *testing.T) {
+	cases := []struct {
+		e    Errno
+		want string
+	}{
+		{OK, "OK"},
+		{ENOENT, "ENOENT"},
+		{EEXIST, "EEXIST"},
+		{ENOTEMPTY, "ENOTEMPTY"},
+		{ENOSPC, "ENOSPC"},
+		{Errno(9999), "errno(9999)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("Errno(%d).String() = %q, want %q", int(c.e), got, c.want)
+		}
+	}
+}
+
+func TestErrorMessages(t *testing.T) {
+	if got := ENOENT.Error(); got != "no such file or directory" {
+		t.Errorf("ENOENT.Error() = %q", got)
+	}
+	if got := Errno(9999).Error(); got != "errno 9999" {
+		t.Errorf("unknown errno message = %q", got)
+	}
+}
+
+func TestValuesMatchLinux(t *testing.T) {
+	// Spot-check that the numeric values match Linux so logged traces can
+	// be compared against real strace output.
+	cases := map[Errno]int{
+		EPERM: 1, ENOENT: 2, EIO: 5, EBADF: 9, EEXIST: 17,
+		ENOTDIR: 20, EISDIR: 21, EINVAL: 22, ENOSPC: 28,
+		ENAMETOOLONG: 36, ENOTEMPTY: 39, ELOOP: 40,
+	}
+	for e, want := range cases {
+		if int(e) != want {
+			t.Errorf("%s = %d, want %d", e, int(e), want)
+		}
+	}
+}
+
+func TestIsOK(t *testing.T) {
+	if !OK.IsOK() {
+		t.Error("OK.IsOK() = false")
+	}
+	if ENOENT.IsOK() {
+		t.Error("ENOENT.IsOK() = true")
+	}
+}
+
+func TestFromError(t *testing.T) {
+	if got := FromError(nil); got != OK {
+		t.Errorf("FromError(nil) = %v", got)
+	}
+	if got := FromError(ENOSPC); got != ENOSPC {
+		t.Errorf("FromError(ENOSPC) = %v", got)
+	}
+	if got := FromError(errors.New("boom")); got != EIO {
+		t.Errorf("FromError(opaque) = %v, want EIO", got)
+	}
+	// Wrapped errnos are not unwrapped on purpose: lower layers must
+	// return bare Errnos, and anything else is an internal fault.
+	if got := FromError(fmt.Errorf("wrap: %w", ENOENT)); got != EIO {
+		t.Errorf("FromError(wrapped) = %v, want EIO", got)
+	}
+}
+
+func TestErrnoAsError(t *testing.T) {
+	var err error = EEXIST
+	var e Errno
+	if !errors.As(err, &e) || e != EEXIST {
+		t.Errorf("errors.As failed: %v", e)
+	}
+}

@@ -1,0 +1,103 @@
+package extfs
+
+import (
+	"testing"
+
+	"mcfs/internal/blockdev"
+	"mcfs/internal/errno"
+	"mcfs/internal/simclock"
+)
+
+func benchVolume(b *testing.B, journal bool) (*FS, blockdev.Device, *simclock.Clock) {
+	b.Helper()
+	clk := simclock.New()
+	dev := blockdev.NewRAM("ram0", 256*1024, clk)
+	if err := Mkfs(dev, MkfsOptions{Journal: journal}); err != nil {
+		b.Fatal(err)
+	}
+	f, err := Mount(dev, clk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, dev, clk
+}
+
+func BenchmarkWrite4K(b *testing.B) {
+	f, _, _ := benchVolume(b, false)
+	ino, e := f.Create(f.Root(), "file", 0644, 0, 0)
+	if e != errno.OK {
+		b.Fatal(e)
+	}
+	buf := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, e := f.Write(ino, int64(i%16)*4096, buf); e != errno.OK {
+			b.Fatal(e)
+		}
+	}
+}
+
+func BenchmarkCreateUnlink(b *testing.B) {
+	f, _, _ := benchVolume(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, e := f.Create(f.Root(), "f", 0644, 0, 0); e != errno.OK {
+			b.Fatal(e)
+		}
+		if e := f.Unlink(f.Root(), "f"); e != errno.OK {
+			b.Fatal(e)
+		}
+	}
+}
+
+func BenchmarkSyncJournaled(b *testing.B) {
+	f, _, _ := benchVolume(b, true)
+	ino, _ := f.Create(f.Root(), "file", 0644, 0, 0)
+	buf := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, e := f.Write(ino, 0, buf); e != errno.OK {
+			b.Fatal(e)
+		}
+		if e := f.Sync(); e != errno.OK {
+			b.Fatal(e)
+		}
+	}
+}
+
+func BenchmarkMountUnmountCycle(b *testing.B) {
+	_, dev, clk := benchVolume(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := Mount(dev, clk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Unmount(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFsck(b *testing.B) {
+	f, dev, _ := benchVolume(b, false)
+	for i := 0; i < 10; i++ {
+		name := string(rune('a' + i))
+		ino, e := f.Create(f.Root(), name, 0644, 0, 0)
+		if e != errno.OK {
+			b.Fatal(e)
+		}
+		if _, e := f.Write(ino, 0, make([]byte, 2048)); e != errno.OK {
+			b.Fatal(e)
+		}
+	}
+	if err := f.Unmount(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fsck(dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

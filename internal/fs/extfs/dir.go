@@ -1,0 +1,224 @@
+package extfs
+
+import (
+	"encoding/binary"
+
+	"mcfs/internal/errno"
+)
+
+// Directory contents are packed dirent lists inside data blocks. Entries
+// never span blocks; a zero inode number terminates a block's used
+// region. Directories only ever grow (size stays a multiple of BlockSize
+// and is never reduced by deletions) — real ext2/ext4 behaves the same
+// way, which is why the checker must ignore directory sizes (§3.4).
+
+type rawDirent struct {
+	ino  uint32
+	name string
+}
+
+// parseDirBlock extracts the entries packed in one directory block.
+func parseDirBlock(buf []byte) []rawDirent {
+	var out []rawDirent
+	le := binary.LittleEndian
+	pos := 0
+	for pos+direntHeader <= BlockSize {
+		ino := le.Uint32(buf[pos:])
+		if ino == 0 {
+			break
+		}
+		nameLen := int(le.Uint16(buf[pos+4:]))
+		if pos+direntHeader+nameLen > BlockSize {
+			break // corrupt tail; fsck will flag it
+		}
+		out = append(out, rawDirent{ino: ino, name: string(buf[pos+direntHeader : pos+direntHeader+nameLen])})
+		pos += direntHeader + nameLen
+	}
+	return out
+}
+
+// dirBlocks returns the allocated block list of a directory.
+func (f *FS) dirBlocks(ci *cachedInode) ([]uint32, errno.Errno) {
+	n := int(ci.size) / BlockSize
+	blocks := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		blk, e := f.blockForIndex(ci, i, false)
+		if e != errno.OK {
+			return nil, e
+		}
+		if blk != 0 {
+			blocks = append(blocks, blk)
+		}
+	}
+	return blocks, errno.OK
+}
+
+// readDirEntries lists all entries of a directory inode.
+func (f *FS) readDirEntries(ci *cachedInode) ([]rawDirent, errno.Errno) {
+	blocks, e := f.dirBlocks(ci)
+	if e != errno.OK {
+		return nil, e
+	}
+	var out []rawDirent
+	for _, blk := range blocks {
+		buf, err := f.readBlock(blk)
+		if err != nil {
+			return nil, errno.EIO
+		}
+		out = append(out, parseDirBlock(buf)...)
+	}
+	return out, errno.OK
+}
+
+// findEntry locates name in the directory, returning its inode and the
+// block that holds it.
+func (f *FS) findEntry(ci *cachedInode, name string) (ino uint32, blk uint32, found bool, e errno.Errno) {
+	blocks, e := f.dirBlocks(ci)
+	if e != errno.OK {
+		return 0, 0, false, e
+	}
+	for _, b := range blocks {
+		buf, err := f.readBlock(b)
+		if err != nil {
+			return 0, 0, false, errno.EIO
+		}
+		for _, de := range parseDirBlock(buf) {
+			if de.name == name {
+				return de.ino, b, true, errno.OK
+			}
+		}
+	}
+	return 0, 0, false, errno.OK
+}
+
+// blockUsed returns the number of bytes occupied by packed entries.
+func blockUsed(buf []byte) int {
+	used := 0
+	for _, de := range parseDirBlock(buf) {
+		used += direntLen(de.name)
+	}
+	return used
+}
+
+// addDirEntry appends (name -> ino) to the directory, growing it by a
+// block if no existing block has room.
+func (f *FS) addDirEntry(dirIno uint32, ci *cachedInode, ino uint32, name string) errno.Errno {
+	need := direntLen(name)
+	blocks, e := f.dirBlocks(ci)
+	if e != errno.OK {
+		return e
+	}
+	for _, b := range blocks {
+		buf, err := f.readBlock(b)
+		if err != nil {
+			return errno.EIO
+		}
+		used := blockUsed(buf)
+		if used+need <= BlockSize {
+			encodeDirent(buf[used:], ino, name)
+			if err := f.writeBlock(b, buf); err != nil {
+				return errno.EIO
+			}
+			return errno.OK
+		}
+	}
+	// Grow the directory by one block.
+	idx := int(ci.size) / BlockSize
+	blk, e := f.blockForIndex(ci, idx, true)
+	if e != errno.OK {
+		return e
+	}
+	buf := make([]byte, BlockSize)
+	encodeDirent(buf, ino, name)
+	if err := f.writeBlock(blk, buf); err != nil {
+		return errno.EIO
+	}
+	ci.size += BlockSize // ext directory sizes grow in whole blocks
+	f.markDirty(ci)
+	_ = dirIno
+	return errno.OK
+}
+
+// removeDirEntry deletes name from the directory, compacting its block.
+// The directory's size is not reduced.
+func (f *FS) removeDirEntry(ci *cachedInode, name string) errno.Errno {
+	blocks, e := f.dirBlocks(ci)
+	if e != errno.OK {
+		return e
+	}
+	for _, b := range blocks {
+		buf, err := f.readBlock(b)
+		if err != nil {
+			return errno.EIO
+		}
+		entries := parseDirBlock(buf)
+		for i, de := range entries {
+			if de.name != name {
+				continue
+			}
+			entries = append(entries[:i], entries[i+1:]...)
+			nb := make([]byte, BlockSize)
+			pos := 0
+			for _, keep := range entries {
+				pos += encodeDirent(nb[pos:], keep.ino, keep.name)
+			}
+			if err := f.writeBlock(b, nb); err != nil {
+				return errno.EIO
+			}
+			return errno.OK
+		}
+	}
+	return errno.ENOENT
+}
+
+// replaceDirEntry rewrites the inode an existing entry points at.
+func (f *FS) replaceDirEntry(ci *cachedInode, name string, newIno uint32) errno.Errno {
+	blocks, e := f.dirBlocks(ci)
+	if e != errno.OK {
+		return e
+	}
+	for _, b := range blocks {
+		buf, err := f.readBlock(b)
+		if err != nil {
+			return errno.EIO
+		}
+		entries := parseDirBlock(buf)
+		changed := false
+		for i := range entries {
+			if entries[i].name == name {
+				entries[i].ino = newIno
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			continue
+		}
+		nb := make([]byte, BlockSize)
+		pos := 0
+		for _, keep := range entries {
+			pos += encodeDirent(nb[pos:], keep.ino, keep.name)
+		}
+		if err := f.writeBlock(b, nb); err != nil {
+			return errno.EIO
+		}
+		return errno.OK
+	}
+	return errno.ENOENT
+}
+
+// dirEntryCount returns the number of entries in the directory excluding
+// the on-disk "." and ".." entries.
+func (f *FS) dirEntryCount(ci *cachedInode) (int, errno.Errno) {
+	entries, e := f.readDirEntries(ci)
+	if e != errno.OK {
+		return 0, e
+	}
+	n := 0
+	for _, de := range entries {
+		if de.name != "." && de.name != ".." {
+			n++
+		}
+	}
+	return n, errno.OK
+}

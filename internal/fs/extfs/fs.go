@@ -1,0 +1,413 @@
+package extfs
+
+import (
+	"fmt"
+	"time"
+
+	"mcfs/internal/blockdev"
+	"mcfs/internal/errno"
+	"mcfs/internal/simclock"
+	"mcfs/internal/vfs"
+)
+
+// FS is a mounted extfs volume.
+//
+// Metadata — the superblock, both bitmaps, and every inode touched — is
+// cached in memory and written back on Sync and Unmount. File and
+// directory data blocks are written through to the device. A mounted FS
+// therefore carries real in-memory state that a model checker must either
+// capture (the paper's proposed APIs) or discard via unmount/remount; if
+// the backing device is restored underneath a live mount, the cached
+// metadata silently diverges from disk (§3.2).
+type FS struct {
+	dev    blockdev.Device
+	clock  *simclock.Clock
+	sb     *superblock
+	layout layout
+
+	blockBitmap []byte
+	inodeBitmap []byte
+	dirtyBBM    bool
+	dirtyIBM    bool
+	dirtySB     bool
+
+	inodeCache map[uint32]*cachedInode
+
+	journal *journal // nil in ext2 mode
+
+	unmounted bool
+}
+
+type cachedInode struct {
+	onDiskInode
+	dirty bool
+}
+
+var _ vfs.FS = (*FS)(nil)
+var _ vfs.RenameFS = (*FS)(nil)
+var _ vfs.LinkFS = (*FS)(nil)
+var _ vfs.SymlinkFS = (*FS)(nil)
+var _ vfs.Typer = (*FS)(nil)
+
+// Mount reads the volume off the device and returns a live FS. In ext4
+// mode, any committed-but-unapplied journal transactions are replayed
+// first, exactly like jbd2 recovery.
+func Mount(dev blockdev.Device, clock *simclock.Clock) (*FS, error) {
+	sbBuf := make([]byte, BlockSize)
+	if err := dev.ReadAt(sbBuf, 0); err != nil {
+		return nil, err
+	}
+	sb, err := decodeSuperblock(sbBuf)
+	if err != nil {
+		return nil, err
+	}
+	l := computeLayout(sb.blocksTotal, sb.inodesTotal, sb.journalLen)
+	f := &FS{
+		dev:        dev,
+		clock:      clock,
+		sb:         sb,
+		layout:     l,
+		inodeCache: make(map[uint32]*cachedInode),
+	}
+	if sb.hasJournal() {
+		f.journal = newJournal(dev, l.journal, l.journalLen)
+		if err := f.journal.replay(); err != nil {
+			return nil, fmt.Errorf("extfs: journal replay: %w", err)
+		}
+	}
+	f.blockBitmap = make([]byte, BlockSize)
+	if err := dev.ReadAt(f.blockBitmap, int64(l.blockBitmap)*BlockSize); err != nil {
+		return nil, err
+	}
+	f.inodeBitmap = make([]byte, BlockSize)
+	if err := dev.ReadAt(f.inodeBitmap, int64(l.inodeBitmap)*BlockSize); err != nil {
+		return nil, err
+	}
+	sb.mountCount++
+	sb.flags |= sbFlagDirty
+	f.dirtySB = true
+	// Mount work is also CPU: superblock validation, bitmap indexing,
+	// journal scan — charged beyond the I/O the reads already cost.
+	if clock != nil {
+		clock.Advance(160 * time.Microsecond)
+	}
+	return f, nil
+}
+
+// FSType implements vfs.Typer: "ext4" with a journal, "ext2" without.
+func (f *FS) FSType() string {
+	if f.sb.hasJournal() {
+		return "ext4"
+	}
+	return "ext2"
+}
+
+// Unmount flushes all dirty state and marks the superblock clean. The FS
+// must not be used afterwards.
+func (f *FS) Unmount() error {
+	if f.unmounted {
+		return fmt.Errorf("extfs: double unmount")
+	}
+	if e := f.Sync(); e != errno.OK {
+		return e
+	}
+	f.sb.flags &^= sbFlagDirty
+	if err := f.dev.WriteAt(f.sb.encode(), 0); err != nil {
+		return err
+	}
+	if f.clock != nil {
+		f.clock.Advance(50 * time.Microsecond) // teardown CPU work
+	}
+	f.unmounted = true
+	return nil
+}
+
+func (f *FS) now() time.Duration {
+	if f.clock == nil {
+		return 0
+	}
+	return f.clock.Now()
+}
+
+// --- block I/O helpers -------------------------------------------------
+
+func (f *FS) readBlock(blk uint32) ([]byte, error) {
+	buf := make([]byte, BlockSize)
+	err := f.dev.ReadAt(buf, int64(blk)*BlockSize)
+	return buf, err
+}
+
+func (f *FS) writeBlock(blk uint32, data []byte) error {
+	return f.dev.WriteAt(data, int64(blk)*BlockSize)
+}
+
+// --- allocation ---------------------------------------------------------
+
+// allocBlock finds a free data block, marks it used, and zeroes it.
+func (f *FS) allocBlock() (uint32, errno.Errno) {
+	if f.sb.freeBlocks == 0 {
+		return 0, errno.ENOSPC
+	}
+	for blk := f.layout.firstData; blk < f.sb.blocksTotal; blk++ {
+		if !bitmapGet(f.blockBitmap, blk) {
+			bitmapSet(f.blockBitmap, blk)
+			f.sb.freeBlocks--
+			f.dirtyBBM = true
+			f.dirtySB = true
+			if err := f.writeBlock(blk, make([]byte, BlockSize)); err != nil {
+				return 0, errno.EIO
+			}
+			return blk, errno.OK
+		}
+	}
+	return 0, errno.ENOSPC
+}
+
+func (f *FS) freeBlock(blk uint32) {
+	if blk == 0 {
+		return
+	}
+	bitmapClear(f.blockBitmap, blk)
+	f.sb.freeBlocks++
+	f.dirtyBBM = true
+	f.dirtySB = true
+}
+
+// allocInode finds a free inode number and initializes its cache entry.
+func (f *FS) allocInode() (uint32, *cachedInode, errno.Errno) {
+	if f.sb.freeInodes == 0 {
+		return 0, nil, errno.ENOSPC
+	}
+	for ino := uint32(FirstFreeIno); ino <= f.sb.inodesTotal; ino++ {
+		if !bitmapGet(f.inodeBitmap, ino) {
+			bitmapSet(f.inodeBitmap, ino)
+			f.sb.freeInodes--
+			f.dirtyIBM = true
+			f.dirtySB = true
+			ci := &cachedInode{dirty: true}
+			f.inodeCache[ino] = ci
+			return ino, ci, errno.OK
+		}
+	}
+	return 0, nil, errno.ENOSPC
+}
+
+func (f *FS) freeInode(ino uint32) {
+	bitmapClear(f.inodeBitmap, ino)
+	f.sb.freeInodes++
+	f.dirtyIBM = true
+	f.dirtySB = true
+	delete(f.inodeCache, ino)
+}
+
+// --- inode cache ---------------------------------------------------------
+
+// getInode returns the cached inode, loading it from the inode table on
+// first touch. Returns nil if the inode is not allocated.
+func (f *FS) getInode(ino uint32) *cachedInode {
+	if ino == 0 || ino > f.sb.inodesTotal {
+		return nil
+	}
+	if !bitmapGet(f.inodeBitmap, ino) {
+		return nil
+	}
+	if ci, ok := f.inodeCache[ino]; ok {
+		return ci
+	}
+	blk := f.layout.inodeTable + (ino-1)/InodesPerBlock
+	buf, err := f.readBlock(blk)
+	if err != nil {
+		return nil
+	}
+	off := ((ino - 1) % InodesPerBlock) * InodeSize
+	ci := &cachedInode{onDiskInode: decodeInode(buf[off : off+InodeSize])}
+	f.inodeCache[ino] = ci
+	return ci
+}
+
+func (f *FS) markDirty(ci *cachedInode) { ci.dirty = true }
+
+// --- flush / journal -----------------------------------------------------
+
+// Sync implements vfs.FS: it writes all dirty metadata back to the
+// device. In ext4 mode the dirty metadata blocks are first logged to the
+// journal and committed, then checkpointed in place — so a crash between
+// those steps is recoverable at the next mount.
+func (f *FS) Sync() errno.Errno {
+	type blockWrite struct {
+		blk  uint32
+		data []byte
+	}
+	var writes []blockWrite
+
+	// Dirty inodes, grouped by inode-table block.
+	dirtyBlocks := make(map[uint32][]uint32) // table block -> inos
+	for ino, ci := range f.inodeCache {
+		if ci.dirty {
+			blk := f.layout.inodeTable + (ino-1)/InodesPerBlock
+			dirtyBlocks[blk] = append(dirtyBlocks[blk], ino)
+		}
+	}
+	for blk, inos := range dirtyBlocks {
+		buf, err := f.readBlock(blk)
+		if err != nil {
+			return errno.EIO
+		}
+		for _, ino := range inos {
+			ci := f.inodeCache[ino]
+			off := ((ino - 1) % InodesPerBlock) * InodeSize
+			ci.encode(buf[off : off+InodeSize])
+		}
+		writes = append(writes, blockWrite{blk, buf})
+	}
+	if f.dirtyBBM {
+		bm := make([]byte, BlockSize)
+		copy(bm, f.blockBitmap)
+		writes = append(writes, blockWrite{f.layout.blockBitmap, bm})
+	}
+	if f.dirtyIBM {
+		bm := make([]byte, BlockSize)
+		copy(bm, f.inodeBitmap)
+		writes = append(writes, blockWrite{f.layout.inodeBitmap, bm})
+	}
+	if f.dirtySB {
+		writes = append(writes, blockWrite{0, f.sb.encode()})
+	}
+	if len(writes) == 0 {
+		return errno.OK
+	}
+
+	if f.journal != nil {
+		tx := f.journal.begin()
+		for _, w := range writes {
+			tx.log(w.blk, w.data)
+		}
+		if err := tx.commit(); err != nil {
+			return errno.EIO
+		}
+	}
+	for _, w := range writes {
+		if err := f.writeBlock(w.blk, w.data); err != nil {
+			return errno.EIO
+		}
+	}
+	if f.journal != nil {
+		if err := f.journal.checkpointDone(); err != nil {
+			return errno.EIO
+		}
+	}
+	for _, ci := range f.inodeCache {
+		ci.dirty = false
+	}
+	f.dirtyBBM = false
+	f.dirtyIBM = false
+	f.dirtySB = false
+	if err := f.dev.Sync(); err != nil {
+		return errno.EIO
+	}
+	return errno.OK
+}
+
+// --- file block mapping ----------------------------------------------------
+
+// blockForIndex returns the device block holding file block idx, or 0 if
+// it is a hole. When allocate is set, holes are filled.
+func (f *FS) blockForIndex(ci *cachedInode, idx int, allocate bool) (uint32, errno.Errno) {
+	if idx < 0 || idx >= MaxFileBlocks {
+		return 0, errno.EFBIG
+	}
+	if idx < NumDirect {
+		if ci.direct[idx] == 0 && allocate {
+			blk, e := f.allocBlock()
+			if e != errno.OK {
+				return 0, e
+			}
+			ci.direct[idx] = blk
+			f.markDirty(ci)
+		}
+		return ci.direct[idx], errno.OK
+	}
+	// Indirect.
+	if ci.indir == 0 {
+		if !allocate {
+			return 0, errno.OK
+		}
+		blk, e := f.allocBlock()
+		if e != errno.OK {
+			return 0, e
+		}
+		ci.indir = blk
+		f.markDirty(ci)
+	}
+	ptrs, err := f.readBlock(ci.indir)
+	if err != nil {
+		return 0, errno.EIO
+	}
+	slot := (idx - NumDirect) * 4
+	blk := uint32(ptrs[slot]) | uint32(ptrs[slot+1])<<8 | uint32(ptrs[slot+2])<<16 | uint32(ptrs[slot+3])<<24
+	if blk == 0 && allocate {
+		nb, e := f.allocBlock()
+		if e != errno.OK {
+			return 0, e
+		}
+		blk = nb
+		ptrs[slot] = byte(blk)
+		ptrs[slot+1] = byte(blk >> 8)
+		ptrs[slot+2] = byte(blk >> 16)
+		ptrs[slot+3] = byte(blk >> 24)
+		if err := f.writeBlock(ci.indir, ptrs); err != nil {
+			return 0, errno.EIO
+		}
+	}
+	return blk, errno.OK
+}
+
+// truncateBlocks releases all file blocks at index >= keep.
+func (f *FS) truncateBlocks(ci *cachedInode, keep int) errno.Errno {
+	for i := keep; i < NumDirect; i++ {
+		if ci.direct[i] != 0 {
+			f.freeBlock(ci.direct[i])
+			ci.direct[i] = 0
+			f.markDirty(ci)
+		}
+	}
+	if ci.indir == 0 {
+		return errno.OK
+	}
+	ptrs, err := f.readBlock(ci.indir)
+	if err != nil {
+		return errno.EIO
+	}
+	indirKeep := keep - NumDirect
+	if indirKeep < 0 {
+		indirKeep = 0
+	}
+	changed := false
+	anyLeft := false
+	for i := 0; i < PtrsPerBlock; i++ {
+		slot := i * 4
+		blk := uint32(ptrs[slot]) | uint32(ptrs[slot+1])<<8 | uint32(ptrs[slot+2])<<16 | uint32(ptrs[slot+3])<<24
+		if blk == 0 {
+			continue
+		}
+		if i >= indirKeep {
+			f.freeBlock(blk)
+			ptrs[slot], ptrs[slot+1], ptrs[slot+2], ptrs[slot+3] = 0, 0, 0, 0
+			changed = true
+		} else {
+			anyLeft = true
+		}
+	}
+	if !anyLeft {
+		f.freeBlock(ci.indir)
+		ci.indir = 0
+		f.markDirty(ci)
+		return errno.OK
+	}
+	if changed {
+		if err := f.writeBlock(ci.indir, ptrs); err != nil {
+			return errno.EIO
+		}
+	}
+	return errno.OK
+}

@@ -1,0 +1,208 @@
+package extfs
+
+import (
+	"fmt"
+
+	"mcfs/internal/blockdev"
+	"mcfs/internal/vfs"
+)
+
+// Problem is one inconsistency found by Fsck.
+type Problem struct {
+	// Code classifies the problem, e.g. "dangling-entry".
+	Code string
+	// Detail is a human-readable description.
+	Detail string
+}
+
+func (p Problem) String() string { return p.Code + ": " + p.Detail }
+
+// Fsck validates the on-disk state of an unmounted volume and returns the
+// inconsistencies found. It reproduces the checks that exposed the
+// paper's §3.2 failure mode: after MCFS restored a disk image underneath
+// live kernel caches, "directory entries with corrupted or zeroed inodes"
+// appeared — exactly the dangling-entry and zeroed-inode problems below.
+//
+// Checks performed:
+//   - every directory entry points to an allocated inode (dangling-entry)
+//   - no referenced inode record is all zeroes (zeroed-inode)
+//   - each directory has "." and ".." entries ("missing-dot")
+//   - inode link counts match the number of referencing entries
+//     (bad-nlink)
+//   - every reachable file/dir block is marked used in the block bitmap
+//     (block-not-marked), and no block is referenced twice (block-shared)
+//   - allocated inodes are reachable from the root (orphan-inode)
+func Fsck(dev blockdev.Device) ([]Problem, error) {
+	sbBuf := make([]byte, BlockSize)
+	if err := dev.ReadAt(sbBuf, 0); err != nil {
+		return nil, err
+	}
+	sb, err := decodeSuperblock(sbBuf)
+	if err != nil {
+		return []Problem{{Code: "bad-superblock", Detail: err.Error()}}, nil
+	}
+	l := computeLayout(sb.blocksTotal, sb.inodesTotal, sb.journalLen)
+
+	var problems []Problem
+	report := func(code, format string, args ...any) {
+		problems = append(problems, Problem{Code: code, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	blockBitmap := make([]byte, BlockSize)
+	if err := dev.ReadAt(blockBitmap, int64(l.blockBitmap)*BlockSize); err != nil {
+		return nil, err
+	}
+	inodeBitmap := make([]byte, BlockSize)
+	if err := dev.ReadAt(inodeBitmap, int64(l.inodeBitmap)*BlockSize); err != nil {
+		return nil, err
+	}
+
+	readInode := func(ino uint32) (onDiskInode, error) {
+		blk := l.inodeTable + (ino-1)/InodesPerBlock
+		buf := make([]byte, BlockSize)
+		if err := dev.ReadAt(buf, int64(blk)*BlockSize); err != nil {
+			return onDiskInode{}, err
+		}
+		off := ((ino - 1) % InodesPerBlock) * InodeSize
+		return decodeInode(buf[off : off+InodeSize]), nil
+	}
+
+	// Walk the tree from the root, recording references.
+	type refCount struct{ links uint32 }
+	refs := make(map[uint32]*refCount)
+	blockRefs := make(map[uint32]int)
+	visitedDirs := make(map[uint32]bool)
+
+	var walkDir func(ino uint32) error
+	walkDir = func(ino uint32) error {
+		if visitedDirs[ino] {
+			return nil
+		}
+		visitedDirs[ino] = true
+		nd, err := readInode(ino)
+		if err != nil {
+			return err
+		}
+		var haveDot, haveDotDot bool
+		blocks := collectBlocks(dev, l, &nd)
+		for _, blk := range blocks {
+			blockRefs[blk]++
+			if !bitmapGet(blockBitmap, blk) {
+				report("block-not-marked", "dir inode %d uses block %d not marked in bitmap", ino, blk)
+			}
+			buf := make([]byte, BlockSize)
+			if err := dev.ReadAt(buf, int64(blk)*BlockSize); err != nil {
+				return err
+			}
+			for _, de := range parseDirBlock(buf) {
+				switch de.name {
+				case ".":
+					haveDot = true
+					continue
+				case "..":
+					haveDotDot = true
+					continue
+				}
+				if de.ino == 0 || de.ino > sb.inodesTotal {
+					report("dangling-entry", "dir %d entry %q points to invalid inode %d", ino, de.name, de.ino)
+					continue
+				}
+				if !bitmapGet(inodeBitmap, de.ino) {
+					report("dangling-entry", "dir %d entry %q points to free inode %d", ino, de.name, de.ino)
+					continue
+				}
+				child, err := readInode(de.ino)
+				if err != nil {
+					return err
+				}
+				if child.mode == 0 && child.nlink == 0 {
+					report("zeroed-inode", "dir %d entry %q points to zeroed inode %d", ino, de.name, de.ino)
+					continue
+				}
+				if refs[de.ino] == nil {
+					refs[de.ino] = &refCount{}
+				}
+				refs[de.ino].links++
+				if vfs.Mode(child.mode).IsDir() {
+					if err := walkDir(de.ino); err != nil {
+						return err
+					}
+				} else {
+					for _, blk := range collectBlocks(dev, l, &child) {
+						blockRefs[blk]++
+						if !bitmapGet(blockBitmap, blk) {
+							report("block-not-marked", "inode %d uses block %d not marked in bitmap", de.ino, blk)
+						}
+					}
+				}
+			}
+		}
+		if !haveDot || !haveDotDot {
+			report("missing-dot", "dir inode %d lacks . or ..", ino)
+		}
+		return nil
+	}
+	rootNd, err := readInode(RootIno)
+	if err != nil {
+		return nil, err
+	}
+	if !vfs.Mode(rootNd.mode).IsDir() {
+		report("bad-root", "root inode is not a directory (mode %#x)", rootNd.mode)
+		return problems, nil
+	}
+	if err := walkDir(RootIno); err != nil {
+		return nil, err
+	}
+
+	// Shared blocks: any data block referenced more than once.
+	for blk, n := range blockRefs {
+		if n > 1 {
+			report("block-shared", "block %d referenced %d times", blk, n)
+		}
+	}
+
+	// Link counts and orphans. Directories are checked loosely (their
+	// nlink also counts subdirectory ".." references).
+	for ino := uint32(FirstFreeIno); ino <= sb.inodesTotal; ino++ {
+		if !bitmapGet(inodeBitmap, ino) {
+			continue
+		}
+		nd, err := readInode(ino)
+		if err != nil {
+			return nil, err
+		}
+		rc := refs[ino]
+		if rc == nil {
+			report("orphan-inode", "inode %d allocated but unreachable", ino)
+			continue
+		}
+		if !vfs.Mode(nd.mode).IsDir() && nd.nlink != rc.links {
+			report("bad-nlink", "inode %d nlink %d but %d references", ino, nd.nlink, rc.links)
+		}
+	}
+	return problems, nil
+}
+
+// collectBlocks gathers all data blocks mapped by an inode (direct plus
+// indirect), reading the indirect block straight from the device.
+func collectBlocks(dev blockdev.Device, l layout, nd *onDiskInode) []uint32 {
+	var out []uint32
+	for _, d := range nd.direct {
+		if d != 0 {
+			out = append(out, d)
+		}
+	}
+	if nd.indir != 0 {
+		out = append(out, nd.indir)
+		buf := make([]byte, BlockSize)
+		if err := dev.ReadAt(buf, int64(nd.indir)*BlockSize); err == nil {
+			for i := 0; i < PtrsPerBlock; i++ {
+				blk := uint32(buf[i*4]) | uint32(buf[i*4+1])<<8 | uint32(buf[i*4+2])<<16 | uint32(buf[i*4+3])<<24
+				if blk != 0 {
+					out = append(out, blk)
+				}
+			}
+		}
+	}
+	return out
+}

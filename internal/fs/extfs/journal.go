@@ -1,0 +1,135 @@
+package extfs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mcfs/internal/blockdev"
+)
+
+// The journal gives extfs its "ext4" personality: metadata updates are
+// written to a dedicated region and committed before being checkpointed
+// into their home locations, so a crash between commit and checkpoint is
+// repaired at the next mount by replaying the committed transaction.
+//
+// The format is a single-transaction physical journal: a descriptor block
+// listing target block numbers, followed by the logged block images, then
+// a commit block. checkpointDone invalidates the descriptor once the
+// in-place writes finish. This is a deliberately minimal jbd2.
+const (
+	jMagicDesc   = 0x4A444553 // "JDES"
+	jMagicCommit = 0x4A434D54 // "JCMT"
+)
+
+type journal struct {
+	dev   blockdev.Device
+	start uint32 // first journal block
+	size  uint32 // journal length in blocks
+	seq   uint32
+}
+
+func newJournal(dev blockdev.Device, start, size uint32) *journal {
+	return &journal{dev: dev, start: start, size: size}
+}
+
+// transaction accumulates logged blocks until commit.
+type transaction struct {
+	j      *journal
+	blocks []uint32
+	data   [][]byte
+}
+
+func (j *journal) begin() *transaction { return &transaction{j: j} }
+
+// log records that blk will be rewritten with data (a full block image).
+func (tx *transaction) log(blk uint32, data []byte) {
+	img := make([]byte, BlockSize)
+	copy(img, data)
+	tx.blocks = append(tx.blocks, blk)
+	tx.data = append(tx.data, img)
+}
+
+// maxLoggedBlocks is the transaction capacity: one descriptor block, one
+// commit block, the rest data.
+func (j *journal) maxLoggedBlocks() int { return int(j.size) - 2 }
+
+// commit writes descriptor, data images, and the commit record. After
+// commit returns nil the transaction is durable.
+func (tx *transaction) commit() error {
+	j := tx.j
+	if len(tx.blocks) > j.maxLoggedBlocks() {
+		return fmt.Errorf("extfs: transaction too large: %d blocks > %d", len(tx.blocks), j.maxLoggedBlocks())
+	}
+	j.seq++
+	le := binary.LittleEndian
+
+	desc := make([]byte, BlockSize)
+	le.PutUint32(desc[0:], jMagicDesc)
+	le.PutUint32(desc[4:], j.seq)
+	le.PutUint32(desc[8:], uint32(len(tx.blocks)))
+	for i, blk := range tx.blocks {
+		le.PutUint32(desc[12+4*i:], blk)
+	}
+	// Data images first, then descriptor, then commit: the descriptor
+	// going down before data would let replay apply torn data.
+	for i, img := range tx.data {
+		if err := j.dev.WriteAt(img, int64(j.start+1+uint32(i))*BlockSize); err != nil {
+			return err
+		}
+	}
+	if err := j.dev.WriteAt(desc, int64(j.start)*BlockSize); err != nil {
+		return err
+	}
+	commit := make([]byte, BlockSize)
+	le.PutUint32(commit[0:], jMagicCommit)
+	le.PutUint32(commit[4:], j.seq)
+	return j.dev.WriteAt(commit, int64(j.start+1+uint32(len(tx.blocks)))*BlockSize)
+}
+
+// checkpointDone invalidates the journal after the in-place writes have
+// landed.
+func (j *journal) checkpointDone() error {
+	zero := make([]byte, BlockSize)
+	return j.dev.WriteAt(zero, int64(j.start)*BlockSize)
+}
+
+// replay applies a committed-but-not-checkpointed transaction found in
+// the journal region, then invalidates it. Called during Mount.
+func (j *journal) replay() error {
+	le := binary.LittleEndian
+	desc := make([]byte, BlockSize)
+	if err := j.dev.ReadAt(desc, int64(j.start)*BlockSize); err != nil {
+		return err
+	}
+	if le.Uint32(desc[0:]) != jMagicDesc {
+		return nil // empty or invalidated journal
+	}
+	seq := le.Uint32(desc[4:])
+	n := le.Uint32(desc[8:])
+	if int(n) > j.maxLoggedBlocks() {
+		return fmt.Errorf("extfs: corrupt journal descriptor: %d blocks", n)
+	}
+	commit := make([]byte, BlockSize)
+	if err := j.dev.ReadAt(commit, int64(j.start+1+n)*BlockSize); err != nil {
+		return err
+	}
+	if le.Uint32(commit[0:]) != jMagicCommit || le.Uint32(commit[4:]) != seq {
+		// Uncommitted transaction: discard it (the crash happened before
+		// commit, so the old on-disk state is the consistent one).
+		return j.checkpointDone()
+	}
+	for i := uint32(0); i < n; i++ {
+		target := le.Uint32(desc[12+4*i:])
+		img := make([]byte, BlockSize)
+		if err := j.dev.ReadAt(img, int64(j.start+1+i)*BlockSize); err != nil {
+			return err
+		}
+		if err := j.dev.WriteAt(img, int64(target)*BlockSize); err != nil {
+			return err
+		}
+	}
+	if j.seq < seq {
+		j.seq = seq
+	}
+	return j.checkpointDone()
+}

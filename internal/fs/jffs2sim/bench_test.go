@@ -1,0 +1,62 @@
+package jffs2sim
+
+import (
+	"testing"
+
+	"mcfs/internal/blockdev"
+	"mcfs/internal/errno"
+	"mcfs/internal/simclock"
+)
+
+func BenchmarkWriteChurnWithGC(b *testing.B) {
+	clk := simclock.New()
+	mtd := blockdev.NewMTD("mtd0", 256*1024, 8*1024, clk)
+	if err := Mkfs(mtd); err != nil {
+		b.Fatal(err)
+	}
+	f, err := Mount(mtd, clk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ino, e := f.Create(f.Root(), "churn", 0644, 0, 0)
+	if e != errno.OK {
+		b.Fatal(e)
+	}
+	payload := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload[0] = byte(i)
+		if _, e := f.Write(ino, 0, payload); e != errno.OK {
+			b.Fatal(e)
+		}
+	}
+}
+
+func BenchmarkMountScan(b *testing.B) {
+	clk := simclock.New()
+	mtd := blockdev.NewMTD("mtd0", 256*1024, 8*1024, clk)
+	if err := Mkfs(mtd); err != nil {
+		b.Fatal(err)
+	}
+	f, err := Mount(mtd, clk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate with a realistic log.
+	for i := 0; i < 8; i++ {
+		name := string(rune('a' + i))
+		ino, e := f.Create(f.Root(), name, 0644, 0, 0)
+		if e != errno.OK {
+			b.Fatal(e)
+		}
+		if _, e := f.Write(ino, 0, make([]byte, 2048)); e != errno.OK {
+			b.Fatal(e)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mount(mtd, clk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

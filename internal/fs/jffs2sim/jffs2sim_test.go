@@ -1,0 +1,302 @@
+package jffs2sim
+
+import (
+	"bytes"
+	"testing"
+
+	"mcfs/internal/blockdev"
+	"mcfs/internal/errno"
+	"mcfs/internal/simclock"
+	"mcfs/internal/vfs"
+)
+
+const (
+	testSize      = 256 * 1024
+	testEraseSize = 8 * 1024
+)
+
+func newVolume(t *testing.T) (*FS, *blockdev.MTD, *simclock.Clock) {
+	t.Helper()
+	clk := simclock.New()
+	mtd := blockdev.NewMTD("mtd0", testSize, testEraseSize, clk)
+	if err := Mkfs(mtd); err != nil {
+		t.Fatalf("Mkfs: %v", err)
+	}
+	f, err := Mount(mtd, clk)
+	if err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	return f, mtd, clk
+}
+
+func mustCreate(t *testing.T, f *FS, parent vfs.Ino, name string) vfs.Ino {
+	t.Helper()
+	ino, e := f.Create(parent, name, 0644, 0, 0)
+	if e != errno.OK {
+		t.Fatalf("Create(%q): %v", name, e)
+	}
+	return ino
+}
+
+func mustMkdir(t *testing.T, f *FS, parent vfs.Ino, name string) vfs.Ino {
+	t.Helper()
+	ino, e := f.Mkdir(parent, name, 0755, 0, 0)
+	if e != errno.OK {
+		t.Fatalf("Mkdir(%q): %v", name, e)
+	}
+	return ino
+}
+
+func TestEmptyMount(t *testing.T) {
+	f, _, _ := newVolume(t)
+	if f.FSType() != "jffs2" {
+		t.Errorf("FSType = %q", f.FSType())
+	}
+	st, e := f.Getattr(f.Root())
+	if e != errno.OK || !st.Mode.IsDir() {
+		t.Fatalf("root = (%+v, %v)", st, e)
+	}
+	ents, e := f.ReadDir(f.Root())
+	if e != errno.OK || len(ents) != 2 {
+		t.Errorf("fresh root entries = (%v, %v)", ents, e)
+	}
+}
+
+func TestWriteReadAndRemountScan(t *testing.T) {
+	f, mtd, clk := newVolume(t)
+	d := mustMkdir(t, f, f.Root(), "dir")
+	ino := mustCreate(t, f, d, "file")
+	data := bytes.Repeat([]byte("jffs2! "), 300) // 2.1 KB, multiple nodes
+	if _, e := f.Write(ino, 0, data); e != errno.OK {
+		t.Fatal(e)
+	}
+	// Overwrite the middle: log gains a newer version node.
+	if _, e := f.Write(ino, 100, []byte("OVERWRITE")); e != errno.OK {
+		t.Fatal(e)
+	}
+	want := append([]byte{}, data...)
+	copy(want[100:], "OVERWRITE")
+	if err := f.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remount: the full-device scan must rebuild identical state.
+	f2, err := Mount(mtd, clk)
+	if err != nil {
+		t.Fatalf("remount: %v", err)
+	}
+	d2, e := f2.Lookup(f2.Root(), "dir")
+	if e != errno.OK || d2 != d {
+		t.Fatalf("dir = (%v, %v)", d2, e)
+	}
+	ino2, e := f2.Lookup(d2, "file")
+	if e != errno.OK || ino2 != ino {
+		t.Fatalf("file = (%v, %v)", ino2, e)
+	}
+	got, e := f2.Read(ino2, 0, len(want)+10)
+	if e != errno.OK || !bytes.Equal(got, want) {
+		t.Errorf("content after remount differs (len %d vs %d)", len(got), len(want))
+	}
+}
+
+func TestDeletionSurvivesRemount(t *testing.T) {
+	f, mtd, clk := newVolume(t)
+	mustCreate(t, f, f.Root(), "gone")
+	mustCreate(t, f, f.Root(), "kept")
+	if e := f.Unlink(f.Root(), "gone"); e != errno.OK {
+		t.Fatal(e)
+	}
+	if err := f.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Mount(mtd, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, e := f2.Lookup(f2.Root(), "gone"); e != errno.ENOENT {
+		t.Errorf("deleted file resurrected after scan: %v", e)
+	}
+	if _, e := f2.Lookup(f2.Root(), "kept"); e != errno.OK {
+		t.Errorf("kept file lost: %v", e)
+	}
+}
+
+func TestTruncateSurvivesRemount(t *testing.T) {
+	f, mtd, clk := newVolume(t)
+	ino := mustCreate(t, f, f.Root(), "file")
+	if _, e := f.Write(ino, 0, []byte("0123456789")); e != errno.OK {
+		t.Fatal(e)
+	}
+	size := int64(4)
+	if e := f.Setattr(ino, vfs.SetAttr{Size: &size}); e != errno.OK {
+		t.Fatal(e)
+	}
+	if err := f.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Mount(mtd, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, e := f2.Read(ino, 0, 100)
+	if e != errno.OK || string(got) != "0123" {
+		t.Errorf("after truncate+remount = (%q, %v)", got, e)
+	}
+}
+
+func TestGrowTruncateZeros(t *testing.T) {
+	f, _, _ := newVolume(t)
+	ino := mustCreate(t, f, f.Root(), "file")
+	if _, e := f.Write(ino, 0, []byte("ab")); e != errno.OK {
+		t.Fatal(e)
+	}
+	size := int64(10)
+	if e := f.Setattr(ino, vfs.SetAttr{Size: &size}); e != errno.OK {
+		t.Fatal(e)
+	}
+	got, _ := f.Read(ino, 0, 10)
+	want := append([]byte("ab"), make([]byte, 8)...)
+	if !bytes.Equal(got, want) {
+		t.Errorf("grow-truncate content = %v", got)
+	}
+}
+
+func TestGarbageCollection(t *testing.T) {
+	f, mtd, clk := newVolume(t)
+	ino := mustCreate(t, f, f.Root(), "churn")
+	// Rewrite the same 1 KB file many times: the log fills with dead
+	// nodes and GC must reclaim them. 256 KB device, ~300 rewrites of
+	// 1 KB ≈ 300 KB of log traffic — impossible without GC.
+	payload := bytes.Repeat([]byte{0x42}, 1024)
+	for i := 0; i < 300; i++ {
+		payload[0] = byte(i)
+		if _, e := f.Write(ino, 0, payload); e != errno.OK {
+			t.Fatalf("write %d: %v", i, e)
+		}
+	}
+	got, e := f.Read(ino, 0, 1024)
+	if e != errno.OK || got[0] != byte(299%256) {
+		t.Fatalf("after churn: (%v, %v)", got[0], e)
+	}
+	// GC must have erased blocks.
+	total := int64(0)
+	for _, c := range mtd.EraseCounts() {
+		total += c
+	}
+	if total == 0 {
+		t.Error("no erases happened despite churn")
+	}
+	// State must survive a remount after GC.
+	if err := f.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Mount(mtd, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, e = f2.Read(ino, 0, 1024)
+	if e != errno.OK || !bytes.Equal(got, payload) {
+		t.Error("content lost across GC + remount")
+	}
+}
+
+func TestENOSPCWhenLiveDataFull(t *testing.T) {
+	f, _, _ := newVolume(t)
+	ino := mustCreate(t, f, f.Root(), "big")
+	// Write live data beyond what the flash can hold.
+	chunk := bytes.Repeat([]byte{0x7F}, 8192)
+	var off int64
+	for i := 0; i < 64; i++ { // 512 KB >> 256 KB device
+		if _, e := f.Write(ino, off, chunk); e != errno.OK {
+			if e != errno.ENOSPC {
+				t.Fatalf("unexpected errno: %v", e)
+			}
+			return
+		}
+		off += int64(len(chunk))
+	}
+	t.Error("never hit ENOSPC")
+}
+
+func TestRenameAndLinks(t *testing.T) {
+	f, mtd, clk := newVolume(t)
+	ino := mustCreate(t, f, f.Root(), "orig")
+	if e := f.Link(ino, f.Root(), "alias"); e != errno.OK {
+		t.Fatalf("Link: %v", e)
+	}
+	d := mustMkdir(t, f, f.Root(), "dir")
+	if e := f.Rename(f.Root(), "orig", d, "moved"); e != errno.OK {
+		t.Fatalf("Rename: %v", e)
+	}
+	lnk, e := f.Symlink("moved", d, "sym", 0, 0)
+	if e != errno.OK {
+		t.Fatalf("Symlink: %v", e)
+	}
+	if err := f.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Mount(mtd, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, e := f2.Lookup(d, "moved"); e != errno.OK || got != ino {
+		t.Errorf("moved = (%v, %v)", got, e)
+	}
+	if got, e := f2.Lookup(f2.Root(), "alias"); e != errno.OK || got != ino {
+		t.Errorf("alias = (%v, %v)", got, e)
+	}
+	st, _ := f2.Getattr(ino)
+	if st.Nlink != 2 {
+		t.Errorf("nlink after remount = %d", st.Nlink)
+	}
+	if tgt, e := f2.Readlink(lnk); e != errno.OK || tgt != "moved" {
+		t.Errorf("symlink = (%q, %v)", tgt, e)
+	}
+}
+
+func TestRmdirSemantics(t *testing.T) {
+	f, _, _ := newVolume(t)
+	d := mustMkdir(t, f, f.Root(), "dir")
+	mustCreate(t, f, d, "f")
+	if e := f.Rmdir(f.Root(), "dir"); e != errno.ENOTEMPTY {
+		t.Errorf("rmdir non-empty = %v", e)
+	}
+	if e := f.Unlink(d, "f"); e != errno.OK {
+		t.Fatal(e)
+	}
+	if e := f.Rmdir(f.Root(), "dir"); e != errno.OK {
+		t.Errorf("rmdir empty = %v", e)
+	}
+}
+
+func TestMountChargesScanTime(t *testing.T) {
+	clk := simclock.New()
+	mtd := blockdev.NewMTD("mtd0", testSize, testEraseSize, clk)
+	if err := Mkfs(mtd); err != nil {
+		t.Fatal(err)
+	}
+	before := clk.Now()
+	if _, err := Mount(mtd, clk); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() == before {
+		t.Error("mount-time scan charged no virtual time")
+	}
+}
+
+func TestHoleWriteZeroFills(t *testing.T) {
+	f, _, _ := newVolume(t)
+	ino := mustCreate(t, f, f.Root(), "holey")
+	if _, e := f.Write(ino, 0, []byte("x")); e != errno.OK {
+		t.Fatal(e)
+	}
+	if _, e := f.Write(ino, 600, []byte("y")); e != errno.OK {
+		t.Fatal(e)
+	}
+	got, _ := f.Read(ino, 0, 601)
+	for i := 1; i < 600; i++ {
+		if got[i] != 0 {
+			t.Fatalf("hole byte %d = %#x", i, got[i])
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package verifs2
+
+import (
+	"testing"
+
+	"mcfs/internal/errno"
+	"mcfs/internal/simclock"
+)
+
+// BenchmarkCheckpointRestore measures the paper's proposed API — the
+// operation pair the whole MCFS speedup rests on (§5).
+func BenchmarkCheckpointRestore(b *testing.B) {
+	f := New(simclock.New())
+	ino, e := f.Create(f.Root(), "file", 0644, 0, 0)
+	if e != errno.OK {
+		b.Fatal(e)
+	}
+	if _, e := f.Write(ino, 0, make([]byte, 64*1024)); e != errno.OK {
+		b.Fatal(e)
+	}
+	for i := 0; i < 10; i++ {
+		if _, e := f.Mkdir(f.Root(), string(rune('a'+i)), 0755, 0, 0); e != errno.OK {
+			b.Fatal(e)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := uint64(i)
+		if e := f.CheckpointState(key); e != errno.OK {
+			b.Fatal(e)
+		}
+		if e := f.RestoreState(key); e != errno.OK {
+			b.Fatal(e)
+		}
+	}
+}
+
+func BenchmarkWrite4K(b *testing.B) {
+	f := New(simclock.New(), WithCapacity(1<<16, 1024))
+	ino, e := f.Create(f.Root(), "file", 0644, 0, 0)
+	if e != errno.OK {
+		b.Fatal(e)
+	}
+	buf := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, e := f.Write(ino, int64(i%16)*4096, buf); e != errno.OK {
+			b.Fatal(e)
+		}
+	}
+}

@@ -1,0 +1,642 @@
+package kernel
+
+import (
+	"mcfs/internal/errno"
+	"mcfs/internal/vfs"
+)
+
+// This file is the kernel's syscall surface. Every entry point takes an
+// absolute path (mount point included), resolves it through the dentry
+// cache, dispatches to the mounted file system, updates the caches the
+// way Linux's VFS would, and returns a POSIX errno.
+
+// Open opens (optionally creating) a file and returns a descriptor.
+func (k *Kernel) Open(path string, flags vfs.OpenFlag, mode vfs.Mode) (FD, errno.Errno) {
+	k.charge()
+	r, e := k.resolve(path, true)
+	if e != errno.OK {
+		return -1, e
+	}
+	m := r.mount
+	var ino vfs.Ino
+	switch {
+	case r.exists:
+		if flags&OExclCreate == OExclCreate {
+			return -1, errno.EEXIST
+		}
+		st, e2 := m.getattrCached(r.ino)
+		if e2 != errno.OK {
+			return -1, e2
+		}
+		if st.Mode.IsDir() && flags.Writable() {
+			return -1, errno.EISDIR
+		}
+		ino = r.ino
+		if flags&vfs.OTrunc != 0 && flags.Writable() && st.Mode.IsRegular() {
+			zero := int64(0)
+			if e2 := m.fs.Setattr(ino, vfs.SetAttr{Size: &zero}); e2 != errno.OK {
+				return -1, e2
+			}
+			m.attrDirty(ino)
+			m.syncIfNeeded()
+		}
+	case flags&vfs.OCreate != 0:
+		if r.name == "" {
+			return -1, errno.EISDIR
+		}
+		newIno, e2 := m.fs.Create(r.parent, r.name, mode, k.UID, k.GID)
+		if e2 != errno.OK {
+			return -1, e2
+		}
+		m.cacheAdd(r.parent, r.name, newIno)
+		m.attrDirty(r.parent)
+		m.syncIfNeeded()
+		ino = newIno
+	default:
+		return -1, errno.ENOENT
+	}
+	fd := k.nextFD
+	k.nextFD++
+	of := &openFile{mount: m, ino: ino, flags: flags}
+	if flags&vfs.OAppend != 0 {
+		st, e2 := m.fs.Getattr(ino)
+		if e2 != errno.OK {
+			return -1, e2
+		}
+		of.pos = st.Size
+	}
+	k.fds[fd] = of
+	return fd, errno.OK
+}
+
+// OExclCreate is the O_CREAT|O_EXCL combination.
+const OExclCreate = vfs.OCreate | vfs.OExcl
+
+// Close releases a descriptor.
+func (k *Kernel) Close(fd FD) errno.Errno {
+	k.charge()
+	if _, ok := k.fds[fd]; !ok {
+		return errno.EBADF
+	}
+	delete(k.fds, fd)
+	return errno.OK
+}
+
+// ReadFD reads up to n bytes at the descriptor's offset, advancing it.
+func (k *Kernel) ReadFD(fd FD, n int) ([]byte, errno.Errno) {
+	k.charge()
+	of, ok := k.fds[fd]
+	if !ok {
+		return nil, errno.EBADF
+	}
+	if !of.flags.Readable() {
+		return nil, errno.EBADF
+	}
+	data, e := of.mount.fs.Read(of.ino, of.pos, n)
+	if e != errno.OK {
+		return nil, e
+	}
+	of.pos += int64(len(data))
+	of.mount.attrDirty(of.ino) // atime moved
+	return data, errno.OK
+}
+
+// WriteFD writes data at the descriptor's offset, advancing it. With
+// O_APPEND the write lands at EOF regardless of the offset.
+func (k *Kernel) WriteFD(fd FD, data []byte) (int, errno.Errno) {
+	k.charge()
+	of, ok := k.fds[fd]
+	if !ok {
+		return 0, errno.EBADF
+	}
+	if !of.flags.Writable() {
+		return 0, errno.EBADF
+	}
+	if of.flags&vfs.OAppend != 0 {
+		st, e := of.mount.fs.Getattr(of.ino)
+		if e != errno.OK {
+			return 0, e
+		}
+		of.pos = st.Size
+	}
+	n, e := of.mount.fs.Write(of.ino, of.pos, data)
+	if e != errno.OK {
+		return 0, e
+	}
+	of.pos += int64(n)
+	of.mount.attrDirty(of.ino)
+	of.mount.syncIfNeeded()
+	return n, errno.OK
+}
+
+// PReadFD reads n bytes at an explicit offset (pread).
+func (k *Kernel) PReadFD(fd FD, off int64, n int) ([]byte, errno.Errno) {
+	k.charge()
+	of, ok := k.fds[fd]
+	if !ok {
+		return nil, errno.EBADF
+	}
+	if !of.flags.Readable() {
+		return nil, errno.EBADF
+	}
+	data, e := of.mount.fs.Read(of.ino, off, n)
+	if e != errno.OK {
+		return nil, e
+	}
+	of.mount.attrDirty(of.ino)
+	return data, errno.OK
+}
+
+// PWriteFD writes data at an explicit offset (pwrite).
+func (k *Kernel) PWriteFD(fd FD, off int64, data []byte) (int, errno.Errno) {
+	k.charge()
+	of, ok := k.fds[fd]
+	if !ok {
+		return 0, errno.EBADF
+	}
+	if !of.flags.Writable() {
+		return 0, errno.EBADF
+	}
+	n, e := of.mount.fs.Write(of.ino, off, data)
+	if e != errno.OK {
+		return 0, e
+	}
+	of.mount.attrDirty(of.ino)
+	of.mount.syncIfNeeded()
+	return n, errno.OK
+}
+
+// Seek sets the descriptor offset (whence: 0=set, 1=cur, 2=end).
+func (k *Kernel) Seek(fd FD, off int64, whence int) (int64, errno.Errno) {
+	k.charge()
+	of, ok := k.fds[fd]
+	if !ok {
+		return 0, errno.EBADF
+	}
+	var base int64
+	switch whence {
+	case 0:
+	case 1:
+		base = of.pos
+	case 2:
+		st, e := of.mount.fs.Getattr(of.ino)
+		if e != errno.OK {
+			return 0, e
+		}
+		base = st.Size
+	default:
+		return 0, errno.EINVAL
+	}
+	np := base + off
+	if np < 0 {
+		return 0, errno.EINVAL
+	}
+	of.pos = np
+	return np, errno.OK
+}
+
+// FsyncFD flushes the file's file system.
+func (k *Kernel) FsyncFD(fd FD) errno.Errno {
+	k.charge()
+	of, ok := k.fds[fd]
+	if !ok {
+		return errno.EBADF
+	}
+	return of.mount.fs.Sync()
+}
+
+// Mkdir creates a directory.
+func (k *Kernel) Mkdir(path string, mode vfs.Mode) errno.Errno {
+	k.charge()
+	r, e := k.resolve(path, true)
+	if e != errno.OK {
+		return e
+	}
+	if r.exists {
+		// NOTE: this EEXIST may come straight from the dentry cache —
+		// if a file system restored an older state without invalidating
+		// kernel caches, this is the paper's spurious-EEXIST bug (§6).
+		return errno.EEXIST
+	}
+	m := r.mount
+	ino, e := m.fs.Mkdir(r.parent, r.name, mode, k.UID, k.GID)
+	if e != errno.OK {
+		return e
+	}
+	m.cacheAdd(r.parent, r.name, ino)
+	m.attrDirty(r.parent)
+	m.syncIfNeeded()
+	return errno.OK
+}
+
+// Rmdir removes an empty directory.
+func (k *Kernel) Rmdir(path string) errno.Errno {
+	k.charge()
+	r, e := k.resolve(path, false)
+	if e != errno.OK {
+		return e
+	}
+	if !r.exists {
+		return errno.ENOENT
+	}
+	if r.name == "" {
+		return errno.EBUSY // the mount root
+	}
+	m := r.mount
+	if e := m.fs.Rmdir(r.parent, r.name); e != errno.OK {
+		return e
+	}
+	m.cacheRemove(r.parent, r.name)
+	m.attrDirty(r.parent)
+	m.attrDirty(r.ino)
+	m.syncIfNeeded()
+	return errno.OK
+}
+
+// Unlink removes a file or symlink.
+func (k *Kernel) Unlink(path string) errno.Errno {
+	k.charge()
+	r, e := k.resolve(path, false)
+	if e != errno.OK {
+		return e
+	}
+	if !r.exists {
+		return errno.ENOENT
+	}
+	if r.name == "" {
+		return errno.EISDIR
+	}
+	m := r.mount
+	if e := m.fs.Unlink(r.parent, r.name); e != errno.OK {
+		return e
+	}
+	m.cacheRemove(r.parent, r.name)
+	m.attrDirty(r.parent)
+	m.attrDirty(r.ino)
+	m.syncIfNeeded()
+	return errno.OK
+}
+
+// Rename moves oldPath to newPath (within one mount).
+func (k *Kernel) Rename(oldPath, newPath string) errno.Errno {
+	k.charge()
+	ro, e := k.resolve(oldPath, false)
+	if e != errno.OK {
+		return e
+	}
+	rn, e := k.resolve(newPath, false)
+	if e != errno.OK {
+		return e
+	}
+	if ro.mount != rn.mount {
+		return errno.EXDEV
+	}
+	if !ro.exists {
+		return errno.ENOENT
+	}
+	if ro.name == "" || rn.name == "" {
+		return errno.EBUSY
+	}
+	m := ro.mount
+	rfs, ok := m.fs.(vfs.RenameFS)
+	if !ok {
+		return errno.ENOSYS
+	}
+	if e := rfs.Rename(ro.parent, ro.name, rn.parent, rn.name); e != errno.OK {
+		return e
+	}
+	if rn.exists && rn.ino == ro.ino {
+		// Renaming one hard link onto another link of the same inode is
+		// a POSIX no-op: the file system keeps both names, so the caches
+		// must not record a deletion.
+		return errno.OK
+	}
+	m.cacheRemove(ro.parent, ro.name)
+	m.cacheAdd(rn.parent, rn.name, ro.ino)
+	m.attrDirty(ro.parent)
+	m.attrDirty(rn.parent)
+	m.attrDirty(ro.ino)
+	if rn.exists {
+		m.attrDirty(rn.ino)
+	}
+	m.syncIfNeeded()
+	return errno.OK
+}
+
+// Link creates a hard link newPath referring to oldPath's inode.
+func (k *Kernel) Link(oldPath, newPath string) errno.Errno {
+	k.charge()
+	ro, e := k.resolve(oldPath, false)
+	if e != errno.OK {
+		return e
+	}
+	rn, e := k.resolve(newPath, true)
+	if e != errno.OK {
+		return e
+	}
+	if ro.mount != rn.mount {
+		return errno.EXDEV
+	}
+	if !ro.exists {
+		return errno.ENOENT
+	}
+	if rn.exists {
+		return errno.EEXIST
+	}
+	m := ro.mount
+	lfs, ok := m.fs.(vfs.LinkFS)
+	if !ok {
+		return errno.ENOSYS
+	}
+	if e := lfs.Link(ro.ino, rn.parent, rn.name); e != errno.OK {
+		return e
+	}
+	m.cacheAdd(rn.parent, rn.name, ro.ino)
+	m.attrDirty(ro.ino)
+	m.attrDirty(rn.parent)
+	m.syncIfNeeded()
+	return errno.OK
+}
+
+// Symlink creates a symbolic link at path pointing to target.
+func (k *Kernel) Symlink(target, path string) errno.Errno {
+	k.charge()
+	r, e := k.resolve(path, true)
+	if e != errno.OK {
+		return e
+	}
+	if r.exists {
+		return errno.EEXIST
+	}
+	m := r.mount
+	sfs, ok := m.fs.(vfs.SymlinkFS)
+	if !ok {
+		return errno.ENOSYS
+	}
+	ino, e := sfs.Symlink(target, r.parent, r.name, k.UID, k.GID)
+	if e != errno.OK {
+		return e
+	}
+	m.cacheAdd(r.parent, r.name, ino)
+	m.attrDirty(r.parent)
+	m.syncIfNeeded()
+	return errno.OK
+}
+
+// Readlink returns the target of the symlink at path.
+func (k *Kernel) Readlink(path string) (string, errno.Errno) {
+	k.charge()
+	r, e := k.resolve(path, false)
+	if e != errno.OK {
+		return "", e
+	}
+	if !r.exists {
+		return "", errno.ENOENT
+	}
+	sfs, ok := r.mount.fs.(vfs.SymlinkFS)
+	if !ok {
+		return "", errno.EINVAL
+	}
+	return sfs.Readlink(r.ino)
+}
+
+// Stat returns metadata, following symlinks.
+func (k *Kernel) Stat(path string) (vfs.Stat, errno.Errno) {
+	k.charge()
+	r, e := k.resolve(path, true)
+	if e != errno.OK {
+		return vfs.Stat{}, e
+	}
+	if !r.exists {
+		return vfs.Stat{}, errno.ENOENT
+	}
+	return r.mount.getattrCached(r.ino)
+}
+
+// Lstat returns metadata without following a final symlink.
+func (k *Kernel) Lstat(path string) (vfs.Stat, errno.Errno) {
+	k.charge()
+	r, e := k.resolve(path, false)
+	if e != errno.OK {
+		return vfs.Stat{}, e
+	}
+	if !r.exists {
+		return vfs.Stat{}, errno.ENOENT
+	}
+	return r.mount.getattrCached(r.ino)
+}
+
+// Access reports whether path exists (mode checks are trivial for root,
+// which is how MCFS runs).
+func (k *Kernel) Access(path string) errno.Errno {
+	k.charge()
+	r, e := k.resolve(path, true)
+	if e != errno.OK {
+		return e
+	}
+	if !r.exists {
+		return errno.ENOENT
+	}
+	return errno.OK
+}
+
+// Chmod updates permission bits.
+func (k *Kernel) Chmod(path string, mode vfs.Mode) errno.Errno {
+	k.charge()
+	r, e := k.resolve(path, true)
+	if e != errno.OK {
+		return e
+	}
+	if !r.exists {
+		return errno.ENOENT
+	}
+	m := r.mount
+	mp := mode.Perm()
+	if e := m.fs.Setattr(r.ino, vfs.SetAttr{Mode: &mp}); e != errno.OK {
+		return e
+	}
+	m.attrDirty(r.ino)
+	m.syncIfNeeded()
+	return errno.OK
+}
+
+// Chown updates ownership.
+func (k *Kernel) Chown(path string, uid, gid uint32) errno.Errno {
+	k.charge()
+	r, e := k.resolve(path, true)
+	if e != errno.OK {
+		return e
+	}
+	if !r.exists {
+		return errno.ENOENT
+	}
+	m := r.mount
+	if e := m.fs.Setattr(r.ino, vfs.SetAttr{UID: &uid, GID: &gid}); e != errno.OK {
+		return e
+	}
+	m.attrDirty(r.ino)
+	m.syncIfNeeded()
+	return errno.OK
+}
+
+// Truncate sets the file size.
+func (k *Kernel) Truncate(path string, size int64) errno.Errno {
+	k.charge()
+	r, e := k.resolve(path, true)
+	if e != errno.OK {
+		return e
+	}
+	if !r.exists {
+		return errno.ENOENT
+	}
+	m := r.mount
+	if e := m.fs.Setattr(r.ino, vfs.SetAttr{Size: &size}); e != errno.OK {
+		return e
+	}
+	m.attrDirty(r.ino)
+	m.syncIfNeeded()
+	return errno.OK
+}
+
+// GetDents lists a directory (unsorted, exactly as the FS returns it).
+func (k *Kernel) GetDents(path string) ([]vfs.DirEntry, errno.Errno) {
+	k.charge()
+	r, e := k.resolve(path, true)
+	if e != errno.OK {
+		return nil, e
+	}
+	if !r.exists {
+		return nil, errno.ENOENT
+	}
+	return r.mount.fs.ReadDir(r.ino)
+}
+
+// Statfs reports file system usage.
+func (k *Kernel) Statfs(path string) (vfs.StatFS, errno.Errno) {
+	k.charge()
+	m, _, e := k.MountAt(path)
+	if e != errno.OK {
+		return vfs.StatFS{}, e
+	}
+	return m.fs.StatFS()
+}
+
+// SyncFS flushes the file system containing path.
+func (k *Kernel) SyncFS(path string) errno.Errno {
+	k.charge()
+	m, _, e := k.MountAt(path)
+	if e != errno.OK {
+		return e
+	}
+	return m.fs.Sync()
+}
+
+// Ioctl dispatches an ioctl on path. IoctlCheckpoint/IoctlRestore route
+// to the Checkpointer API when the file system provides it (§5).
+func (k *Kernel) Ioctl(path string, cmd uint32, arg uint64) errno.Errno {
+	k.charge()
+	r, e := k.resolve(path, true)
+	if e != errno.OK {
+		return e
+	}
+	if !r.exists {
+		return errno.ENOENT
+	}
+	m := r.mount
+	switch cmd {
+	case vfs.IoctlCheckpoint:
+		cp, ok := m.fs.(vfs.Checkpointer)
+		if !ok {
+			return errno.ENOTSUP
+		}
+		return cp.CheckpointState(arg)
+	case vfs.IoctlRestore:
+		cp, ok := m.fs.(vfs.Checkpointer)
+		if !ok {
+			return errno.ENOTSUP
+		}
+		return cp.RestoreState(arg)
+	}
+	if io, ok := m.fs.(vfs.Ioctler); ok {
+		return io.Ioctl(r.ino, cmd, arg)
+	}
+	return errno.ENOTSUP
+}
+
+// SetXattr sets an extended attribute.
+func (k *Kernel) SetXattr(path, name string, value []byte) errno.Errno {
+	k.charge()
+	r, e := k.resolve(path, true)
+	if e != errno.OK {
+		return e
+	}
+	if !r.exists {
+		return errno.ENOENT
+	}
+	xfs, ok := r.mount.fs.(vfs.XattrFS)
+	if !ok {
+		return errno.ENOTSUP
+	}
+	if e := xfs.SetXattr(r.ino, name, value); e != errno.OK {
+		return e
+	}
+	r.mount.attrDirty(r.ino)
+	r.mount.syncIfNeeded()
+	return errno.OK
+}
+
+// GetXattr reads an extended attribute.
+func (k *Kernel) GetXattr(path, name string) ([]byte, errno.Errno) {
+	k.charge()
+	r, e := k.resolve(path, true)
+	if e != errno.OK {
+		return nil, e
+	}
+	if !r.exists {
+		return nil, errno.ENOENT
+	}
+	xfs, ok := r.mount.fs.(vfs.XattrFS)
+	if !ok {
+		return nil, errno.ENOTSUP
+	}
+	return xfs.GetXattr(r.ino, name)
+}
+
+// ListXattr lists extended attribute names.
+func (k *Kernel) ListXattr(path string) ([]string, errno.Errno) {
+	k.charge()
+	r, e := k.resolve(path, true)
+	if e != errno.OK {
+		return nil, e
+	}
+	if !r.exists {
+		return nil, errno.ENOENT
+	}
+	xfs, ok := r.mount.fs.(vfs.XattrFS)
+	if !ok {
+		return nil, errno.ENOTSUP
+	}
+	return xfs.ListXattr(r.ino)
+}
+
+// RemoveXattr deletes an extended attribute.
+func (k *Kernel) RemoveXattr(path, name string) errno.Errno {
+	k.charge()
+	r, e := k.resolve(path, true)
+	if e != errno.OK {
+		return e
+	}
+	if !r.exists {
+		return errno.ENOENT
+	}
+	xfs, ok := r.mount.fs.(vfs.XattrFS)
+	if !ok {
+		return errno.ENOTSUP
+	}
+	if e := xfs.RemoveXattr(r.ino, name); e != errno.OK {
+		return e
+	}
+	r.mount.attrDirty(r.ino)
+	r.mount.syncIfNeeded()
+	return errno.OK
+}

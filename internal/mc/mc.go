@@ -1,0 +1,471 @@
+// Package mc is the model-checking engine at the heart of MCFS — the
+// stand-in for Spin in the paper's prototype (§2, §4).
+//
+// The engine performs explicit-state depth-first search over bounded
+// operation sequences. Each step nondeterministically picks one
+// fully-parameterized operation from the workload pool (one entry of the
+// Promela do..od loop), executes it on every file system under test,
+// runs the integrity checks, and computes the combined abstract state
+// (Algorithm 1). A state whose abstract hash was seen before is pruned —
+// Spin's visited-state matching with c_track'd abstract states (§3.3) —
+// otherwise the search descends. Backtracking restores concrete states
+// through the configured trackers (remount for kernel file systems,
+// ioctl checkpoint/restore for VeriFS, §5).
+//
+// On any discrepancy the engine stops and reports the precise operation
+// trail, matching the paper's reproducible bug reports; Replay re-runs a
+// trail from a fresh state to confirm it. Swarm runs several diversified
+// engines in parallel (Spin's swarm verification).
+package mc
+
+import (
+	"fmt"
+	"time"
+
+	"mcfs/internal/checker"
+	"mcfs/internal/kernel"
+	"mcfs/internal/memmodel"
+	"mcfs/internal/simclock"
+	"mcfs/internal/tracker"
+	"mcfs/internal/workload"
+
+	"mcfs/internal/abstraction"
+	"mcfs/internal/errno"
+)
+
+// Config parameterizes one exploration.
+type Config struct {
+	// Kernel hosts all mounted targets.
+	Kernel *kernel.Kernel
+	// Checker compares the targets (its Targets() order matches
+	// Trackers).
+	Checker *checker.Checker
+	// Trackers capture/restore state, one per target, same order as
+	// Checker.Targets().
+	Trackers []tracker.Tracker
+	// Pool is the bounded operation/parameter space.
+	Pool workload.Pool
+	// MaxDepth bounds the operation-sequence length.
+	MaxDepth int
+	// MaxOps stops exploration after this many executed operations
+	// (0 = unlimited).
+	MaxOps int64
+	// MaxStates stops after this many unique states (0 = unlimited).
+	MaxStates int64
+	// Seed diversifies the operation ordering (swarm verification).
+	Seed int64
+	// Mem, when set, charges state-store memory costs (swap, hash-table
+	// resizes) to the virtual clock.
+	Mem *memmodel.Model
+	// EqualizeFreeSpace applies the §3.4 capacity workaround before
+	// exploring.
+	EqualizeFreeSpace bool
+	// MajorityVote enables the §7 majority-voting checks: with three or
+	// more targets, the deviating minority is identified instead of
+	// halting at the first pairwise mismatch.
+	MajorityVote bool
+	// Resume seeds the visited table from an earlier run's Result.Resume,
+	// so exploration continues where the interrupted run left off (§7).
+	Resume *ResumeState
+}
+
+// BugReport is a discrepancy plus the trail that produced it.
+type BugReport struct {
+	// Discrepancy describes the behavioral difference.
+	Discrepancy *checker.Discrepancy
+	// Trail is the operation sequence from the initial state, the last
+	// entry being the operation that exposed the discrepancy.
+	Trail []workload.Op
+	// OpsExecuted counts operations executed up to detection.
+	OpsExecuted int64
+}
+
+// Error renders the report.
+func (b *BugReport) Error() string {
+	return fmt.Sprintf("%v\ntrail (%d ops executed):\n%s",
+		b.Discrepancy, b.OpsExecuted, workload.TrailString(b.Trail))
+}
+
+// Result summarizes one exploration.
+type Result struct {
+	// Ops is the number of operations executed.
+	Ops int64
+	// UniqueStates is the number of distinct abstract states visited.
+	UniqueStates int64
+	// Revisits counts prunes due to visited-state matching.
+	Revisits int64
+	// Bug is non-nil if a discrepancy was found.
+	Bug *BugReport
+	// Elapsed is virtual time spent.
+	Elapsed time.Duration
+	// Rate is operations per virtual second.
+	Rate float64
+	// Err reports an engine failure (tracker errors etc.), not a bug.
+	Err error
+	// Coverage reports how often each operation kind executed and which
+	// errnos it produced — the operation-level answer to the paper's §7
+	// "track code coverage while model-checking".
+	Coverage Coverage
+	// Resume carries the exploration's visited-state knowledge so a
+	// later run can continue after an interruption (§7 future work).
+	Resume *ResumeState
+}
+
+// Coverage aggregates operation and outcome counts for one run.
+type Coverage struct {
+	// ByOp counts executions per operation kind name.
+	ByOp map[string]int64
+	// ByErrno counts outcomes per errno name across all targets.
+	ByErrno map[string]int64
+}
+
+// ErrorPathRatio reports the fraction of observed outcomes that were
+// errors — the invalid sequences §2 considers critical to exercise.
+func (c Coverage) ErrorPathRatio() float64 {
+	var total, errs int64
+	for name, n := range c.ByErrno {
+		total += n
+		if name != "OK" {
+			errs += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(errs) / float64(total)
+}
+
+// ResumeState is the serializable knowledge of a past exploration: the
+// visited abstract states and the depths they were expanded at. Feeding
+// it to a new run (Config.Resume) prevents re-exploring known states —
+// the §7 "resume the model-checking process if an interruption occurs".
+type ResumeState struct {
+	States []abstraction.State
+	Depths []int
+}
+
+type engine struct {
+	cfg Config
+	ops []workload.Op
+	// visited maps each abstract state to the shallowest depth it has
+	// been expanded at. Depth-bounded DFS must re-expand a state reached
+	// at a shallower depth than before, or successors reachable only
+	// within the remaining budget are silently missed (Spin handles
+	// bounded DFS the same way).
+	visited map[abstraction.State]int
+	trail   []workload.Op
+	nextKey uint64
+
+	executed  int64
+	unique    int64
+	revisits  int64
+	bug       *BugReport
+	coverage  Coverage
+	exhausted bool // op/state budget hit
+	rng       uint64
+}
+
+// Run explores the configured state space and returns the result.
+func Run(cfg Config) Result {
+	clock := cfg.Kernel.Clock()
+	start := clock.Now()
+	e := &engine{
+		cfg:      cfg,
+		ops:      cfg.Pool.Enumerate(),
+		visited:  make(map[abstraction.State]int),
+		coverage: Coverage{ByOp: make(map[string]int64), ByErrno: make(map[string]int64)},
+		rng:      uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03,
+	}
+	if cfg.Resume != nil {
+		for i, st := range cfg.Resume.States {
+			depth := 0
+			if i < len(cfg.Resume.Depths) {
+				depth = cfg.Resume.Depths[i]
+			}
+			e.visited[st] = depth
+		}
+	}
+	res := Result{}
+	if cfg.EqualizeFreeSpace {
+		if er := cfg.Checker.EqualizeFreeSpace(); er != errno.OK {
+			res.Err = fmt.Errorf("mc: equalizing free space: %w", er)
+			return res
+		}
+	}
+	// Hash and record the initial state.
+	h, er := cfg.Checker.StateHash()
+	if er != errno.OK {
+		res.Err = fmt.Errorf("mc: hashing initial state: %w", er)
+		return res
+	}
+	e.visited[h] = 0
+	e.unique++
+	e.visitCost()
+
+	err := e.dfs(0)
+
+	res.Ops = e.executed
+	res.UniqueStates = e.unique
+	res.Revisits = e.revisits
+	res.Bug = e.bug
+	res.Err = err
+	res.Elapsed = clock.Now() - start
+	res.Rate = simclock.Rate(res.Ops, res.Elapsed)
+	res.Coverage = e.coverage
+	resume := &ResumeState{
+		States: make([]abstraction.State, 0, len(e.visited)),
+		Depths: make([]int, 0, len(e.visited)),
+	}
+	for st, depth := range e.visited {
+		resume.States = append(resume.States, st)
+		resume.Depths = append(resume.Depths, depth)
+	}
+	res.Resume = resume
+	return res
+}
+
+// shuffled returns the op indices in a seed- and depth-diversified order.
+func (e *engine) shuffled(depth int) []int {
+	idx := make([]int, len(e.ops))
+	for i := range idx {
+		idx[i] = i
+	}
+	if e.cfg.Seed == 0 {
+		return idx // deterministic baseline order
+	}
+	r := e.rng + uint64(depth)*0xBF58476D1CE4E5B9
+	for i := len(idx) - 1; i > 0; i-- {
+		r ^= r >> 12
+		r ^= r << 25
+		r ^= r >> 27
+		j := int((r * 0x2545F4914F6CDD1D >> 33) % uint64(i+1))
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx
+}
+
+func (e *engine) budgetLeft() bool {
+	if e.bug != nil {
+		return false
+	}
+	if e.cfg.MaxOps > 0 && e.executed >= e.cfg.MaxOps {
+		e.exhausted = true
+		return false
+	}
+	if e.cfg.MaxStates > 0 && e.unique >= e.cfg.MaxStates {
+		e.exhausted = true
+		return false
+	}
+	return true
+}
+
+func (e *engine) stateBytes() int64 {
+	var total int64
+	for _, t := range e.cfg.Trackers {
+		total += t.StateBytes()
+	}
+	return total
+}
+
+func (e *engine) storeStateCost() {
+	if e.cfg.Mem != nil {
+		if err := e.cfg.Mem.Store(e.stateBytes()); err != nil {
+			// Out of memory+swap: treated as exhaustion, not failure.
+			e.exhausted = true
+		}
+	}
+}
+
+func (e *engine) fetchStateCost() {
+	if e.cfg.Mem != nil {
+		e.cfg.Mem.Fetch(e.stateBytes(), 0)
+	}
+}
+
+// visitCost charges the memory footprint of recording a newly visited
+// state: a hash-table entry plus the concrete state retained for
+// backtracking (Spin's c_track'd buffers live for the whole run, which is
+// why the paper's long runs eventually spill to swap).
+func (e *engine) visitCost() {
+	if e.cfg.Mem == nil {
+		return
+	}
+	e.cfg.Mem.InsertVisited()
+	if err := e.cfg.Mem.Store(e.stateBytes()); err != nil {
+		e.exhausted = true
+	}
+}
+
+// dfs explores all operation choices from the current concrete state.
+func (e *engine) dfs(depth int) error {
+	if depth >= e.cfg.MaxDepth {
+		return nil
+	}
+	for _, opIdx := range e.shuffled(depth) {
+		if !e.budgetLeft() {
+			return nil
+		}
+		op := e.ops[opIdx]
+
+		// Save the current state of every target so we can backtrack.
+		key := e.nextKey
+		e.nextKey++
+		for _, t := range e.cfg.Trackers {
+			if err := t.Checkpoint(key); err != nil {
+				return fmt.Errorf("mc: checkpoint %s: %w", t.Name(), err)
+			}
+		}
+		e.storeStateCost()
+
+		if err := e.step(op); err != nil {
+			return err
+		}
+
+		if e.bug == nil {
+			h, er := e.cfg.Checker.StateHash()
+			if er != errno.OK {
+				return fmt.Errorf("mc: hashing state: %w", er)
+			}
+			childDepth := depth + 1
+			prevDepth, seen := e.visited[h]
+			if seen && prevDepth <= childDepth {
+				e.revisits++
+			} else {
+				if !seen {
+					e.unique++
+					e.visitCost()
+				}
+				e.visited[h] = childDepth
+				e.trail = append(e.trail, op)
+				if err := e.dfs(childDepth); err != nil {
+					return err
+				}
+				e.trail = e.trail[:len(e.trail)-1]
+			}
+		}
+
+		// Backtrack: restore every target to the saved state.
+		e.fetchStateCost()
+		for _, t := range e.cfg.Trackers {
+			if err := t.Restore(key); err != nil {
+				return fmt.Errorf("mc: restore %s: %w", t.Name(), err)
+			}
+		}
+		if e.cfg.Mem != nil {
+			e.cfg.Mem.Release(e.stateBytes())
+		}
+		if e.bug != nil || e.exhausted {
+			return nil
+		}
+	}
+	return nil
+}
+
+// step executes one operation on every target and runs the integrity
+// checks, recording a bug report on discrepancy.
+func (e *engine) step(op workload.Op) error {
+	targets := e.cfg.Checker.Targets()
+	for _, t := range e.cfg.Trackers {
+		if err := t.PreOp(); err != nil {
+			return fmt.Errorf("mc: pre-op %s: %w", t.Name(), err)
+		}
+	}
+	results := make([]checker.OpResult, len(targets))
+	for i, tgt := range targets {
+		results[i] = workload.Execute(e.cfg.Kernel, tgt.MountPoint, op)
+	}
+	for _, t := range e.cfg.Trackers {
+		if err := t.PostOp(); err != nil {
+			return fmt.Errorf("mc: post-op %s: %w", t.Name(), err)
+		}
+	}
+	e.executed++
+	e.coverage.ByOp[op.Kind.String()]++
+	for _, r := range results {
+		e.coverage.ByErrno[r.Err.String()]++
+	}
+
+	var d *checker.Discrepancy
+	if e.cfg.MajorityVote {
+		d = e.cfg.Checker.CheckResultsMajority(op.String(), results)
+	} else {
+		d = e.cfg.Checker.CheckResults(op.String(), results)
+	}
+	if d != nil {
+		e.report(d, op)
+		return nil
+	}
+	var er errno.Errno
+	if e.cfg.MajorityVote {
+		d, _, er = e.cfg.Checker.CheckAndHashMajority(op.String())
+	} else {
+		d, _, er = e.cfg.Checker.CheckAndHash(op.String())
+	}
+	if er != errno.OK {
+		return fmt.Errorf("mc: state check: %w", er)
+	}
+	if d != nil {
+		e.report(d, op)
+	}
+	return nil
+}
+
+func (e *engine) report(d *checker.Discrepancy, op workload.Op) {
+	trail := make([]workload.Op, len(e.trail), len(e.trail)+1)
+	copy(trail, e.trail)
+	trail = append(trail, op)
+	e.bug = &BugReport{Discrepancy: d, Trail: trail, OpsExecuted: e.executed}
+}
+
+// Replay executes a recorded trail from the targets' current (fresh)
+// state, checking after every operation, and returns the first
+// discrepancy (nil if the trail no longer reproduces).
+func Replay(cfg Config, trail []workload.Op) (*checker.Discrepancy, error) {
+	targets := cfg.Checker.Targets()
+	for _, op := range trail {
+		results := make([]checker.OpResult, len(targets))
+		for i, tgt := range targets {
+			results[i] = workload.Execute(cfg.Kernel, tgt.MountPoint, op)
+		}
+		if d := cfg.Checker.CheckResults(op.String(), results); d != nil {
+			return d, nil
+		}
+		d, _, er := cfg.Checker.CheckAndHash(op.String())
+		if er != errno.OK {
+			return nil, fmt.Errorf("mc: replay state check: %w", er)
+		}
+		if d != nil {
+			return d, nil
+		}
+	}
+	return nil, nil
+}
+
+// Swarm runs n diversified engines concurrently — Spin's swarm
+// verification (§2, §7). The factory must build a fully independent
+// Config (own kernel, file systems, checker, trackers) for each worker
+// seed; workers share nothing but the result channel.
+func Swarm(n int, factory func(seed int64) (Config, error)) ([]Result, error) {
+	results := make([]Result, n)
+	errs := make(chan error, n)
+	done := make(chan int, n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			cfg, err := factory(int64(w + 1))
+			if err != nil {
+				errs <- fmt.Errorf("mc: swarm worker %d: %w", w, err)
+				return
+			}
+			results[w] = Run(cfg)
+			done <- w
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errs:
+			return nil, err
+		case <-done:
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,216 @@
+// Package memmodel simulates the memory hierarchy the model checker's
+// state store lives in: a RAM budget, a swap area, and the visited-state
+// hash table.
+//
+// The paper's evaluation is dominated by memory behavior: checking Ext4
+// vs XFS consumed 105 GB of swap because XFS's 16 MB concrete states
+// overflowed RAM, making that configuration 11x slower than Ext2 vs Ext4
+// (Figure 2); the two-week VeriFS1 run (Figure 3) shows a throughput
+// crash when Spin resized its visited-state hash table (~day 3), a slow
+// decline as states spilled to swap, and a late rebound when the
+// RAM hit rate rose. This package gives the explorer those mechanics:
+//
+//   - Store charges allocation for a concrete state; once the RAM budget
+//     is exceeded, cold pages are pushed to swap at a per-page cost;
+//   - Fetch charges swap-in time with probability proportional to the
+//     fraction of stored bytes living in swap, scaled down by a hotness
+//     factor (recently stored states are likelier to be resident);
+//   - InsertVisited grows the hash table and charges a full rehash pass
+//     whenever the load factor crosses the threshold — the Figure 3
+//     throughput crash.
+//
+// Randomness is a deterministic internal LCG, so simulations reproduce.
+package memmodel
+
+import (
+	"time"
+
+	"mcfs/internal/simclock"
+)
+
+// PageSize is the swap granularity.
+const PageSize = 4096
+
+// Config sizes the memory system.
+type Config struct {
+	// RAMBytes is the memory available for storing concrete states.
+	RAMBytes int64
+	// SwapBytes is the swap capacity (0 = unlimited, like an overbooked
+	// swap file; the paper's VM had 128 GB).
+	SwapBytes int64
+	// SwapOutCost and SwapInCost are per-page transfer costs (swap on a
+	// hypervisor SSD in the paper).
+	SwapOutCost time.Duration
+	SwapInCost  time.Duration
+	// InitialSlots is the visited-table capacity before the first
+	// resize.
+	InitialSlots int64
+	// RehashPerEntry is the CPU cost per entry during a table resize.
+	RehashPerEntry time.Duration
+	// SlotBytes is the memory footprint per visited-table slot.
+	SlotBytes int64
+}
+
+// DefaultConfig mirrors the paper's 64 GB RAM / 128 GB swap VM with
+// SSD-backed swap.
+func DefaultConfig() Config {
+	return Config{
+		RAMBytes:       64 << 30,
+		SwapBytes:      128 << 30,
+		SwapOutCost:    6 * time.Microsecond,
+		SwapInCost:     8 * time.Microsecond,
+		InitialSlots:   1 << 20,
+		RehashPerEntry: 300 * time.Nanosecond,
+		SlotBytes:      24,
+	}
+}
+
+// Model tracks the state store's memory occupancy.
+type Model struct {
+	cfg   Config
+	clock *simclock.Clock
+
+	storedBytes int64 // total concrete-state bytes stored
+	swapBytes   int64 // portion of storedBytes living in swap
+	entries     int64 // visited-table entries
+	slots       int64 // visited-table capacity
+	resizes     int   // number of table resizes so far
+
+	rng uint64
+}
+
+// ErrOutOfMemory is reported when both RAM and swap are exhausted.
+type ErrOutOfMemory struct{}
+
+func (ErrOutOfMemory) Error() string { return "memmodel: RAM and swap exhausted" }
+
+// New builds a model charging costs to clock.
+func New(cfg Config, clock *simclock.Clock) *Model {
+	if cfg.InitialSlots <= 0 {
+		cfg.InitialSlots = 1 << 20
+	}
+	return &Model{cfg: cfg, clock: clock, slots: cfg.InitialSlots, rng: 0x9E3779B97F4A7C15}
+}
+
+func (m *Model) charge(d time.Duration) {
+	if m.clock != nil && d > 0 {
+		m.clock.Advance(d)
+	}
+}
+
+func (m *Model) rand() float64 {
+	// xorshift64*
+	m.rng ^= m.rng >> 12
+	m.rng ^= m.rng << 25
+	m.rng ^= m.rng >> 27
+	return float64(m.rng*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+}
+
+// tableBytes is the visited table's current footprint.
+func (m *Model) tableBytes() int64 { return m.slots * m.cfg.SlotBytes }
+
+// ramAvailable is the RAM left for concrete states after the table.
+func (m *Model) ramAvailable() int64 {
+	avail := m.cfg.RAMBytes - m.tableBytes()
+	if avail < 0 {
+		return 0
+	}
+	return avail
+}
+
+// Store records a new concrete state of n bytes. Overflowing the RAM
+// budget pushes pages to swap at SwapOutCost each.
+func (m *Model) Store(n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	m.storedBytes += n
+	overflow := m.storedBytes - m.ramAvailable()
+	if overflow > m.swapBytes {
+		newSwap := overflow - m.swapBytes
+		if m.cfg.SwapBytes > 0 && overflow > m.cfg.SwapBytes {
+			return ErrOutOfMemory{}
+		}
+		pages := (newSwap + PageSize - 1) / PageSize
+		m.charge(time.Duration(pages) * m.cfg.SwapOutCost)
+		m.swapBytes = overflow
+	}
+	return nil
+}
+
+// Release drops n bytes of stored state (a discarded checkpoint).
+func (m *Model) Release(n int64) {
+	m.storedBytes -= n
+	if m.storedBytes < 0 {
+		m.storedBytes = 0
+	}
+	if m.swapBytes > m.storedBytes {
+		m.swapBytes = m.storedBytes
+	}
+}
+
+// Fetch charges the cost of bringing a stored state of n bytes back for
+// restoration. hotness in [0,1] scales down the probability that the
+// state has been swapped out: 1 means certainly resident (just stored),
+// 0 means subject to the global swap fraction.
+func (m *Model) Fetch(n int64, hotness float64) {
+	if n <= 0 || m.storedBytes == 0 || m.swapBytes == 0 {
+		return
+	}
+	if hotness < 0 {
+		hotness = 0
+	}
+	if hotness > 1 {
+		hotness = 1
+	}
+	pSwapped := float64(m.swapBytes) / float64(m.storedBytes) * (1 - hotness)
+	if m.rand() >= pSwapped {
+		return // RAM hit
+	}
+	pages := (n + PageSize - 1) / PageSize
+	m.charge(time.Duration(pages) * m.cfg.SwapInCost)
+}
+
+// InsertVisited records one new visited-table entry, resizing (and
+// charging a rehash pass plus a memory spike) when the load factor
+// crosses 3/4 — Spin's hash-table resize, the Figure 3 throughput crash.
+func (m *Model) InsertVisited() {
+	m.entries++
+	if m.entries*4 > m.slots*3 {
+		m.charge(time.Duration(m.entries) * m.cfg.RehashPerEntry)
+		// During the resize both tables exist: transient pressure pushes
+		// states to swap.
+		oldTable := m.tableBytes()
+		m.slots *= 2
+		m.resizes++
+		transient := m.storedBytes + oldTable + m.tableBytes() - m.cfg.RAMBytes
+		if transient > m.swapBytes {
+			pages := (transient - m.swapBytes + PageSize - 1) / PageSize
+			m.charge(time.Duration(pages) * m.cfg.SwapOutCost)
+			m.swapBytes = transient
+			if m.swapBytes > m.storedBytes {
+				m.swapBytes = m.storedBytes
+			}
+		}
+	}
+}
+
+// Stats reports the current occupancy.
+type Stats struct {
+	StoredBytes int64
+	SwapBytes   int64
+	Entries     int64
+	Slots       int64
+	Resizes     int
+}
+
+// Stats returns a snapshot of the model.
+func (m *Model) Stats() Stats {
+	return Stats{
+		StoredBytes: m.storedBytes,
+		SwapBytes:   m.swapBytes,
+		Entries:     m.entries,
+		Slots:       m.slots,
+		Resizes:     m.resizes,
+	}
+}

@@ -1,0 +1,165 @@
+package memmodel
+
+import (
+	"testing"
+	"time"
+
+	"mcfs/internal/simclock"
+)
+
+func smallConfig() Config {
+	return Config{
+		RAMBytes:       1 << 20, // 1 MiB
+		SwapBytes:      4 << 20,
+		SwapOutCost:    10 * time.Microsecond,
+		SwapInCost:     12 * time.Microsecond,
+		InitialSlots:   16,
+		RehashPerEntry: time.Microsecond,
+		SlotBytes:      24,
+	}
+}
+
+func TestStoreWithinRAMIsFree(t *testing.T) {
+	clk := simclock.New()
+	m := New(smallConfig(), clk)
+	if err := m.Store(256 * 1024); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() != 0 {
+		t.Errorf("in-RAM store charged %v", clk.Now())
+	}
+	if m.Stats().SwapBytes != 0 {
+		t.Errorf("swap used: %d", m.Stats().SwapBytes)
+	}
+}
+
+func TestStoreOverflowsToSwap(t *testing.T) {
+	clk := simclock.New()
+	m := New(smallConfig(), clk)
+	if err := m.Store(2 << 20); err != nil { // 2 MiB > 1 MiB RAM
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.SwapBytes == 0 {
+		t.Fatal("no swap used despite RAM overflow")
+	}
+	if clk.Now() == 0 {
+		t.Error("swap-out charged no time")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	m := New(smallConfig(), simclock.New())
+	if err := m.Store(10 << 20); err == nil { // > RAM + swap
+		t.Error("no error when exceeding RAM+swap")
+	}
+}
+
+func TestReleaseShrinksFootprint(t *testing.T) {
+	m := New(smallConfig(), simclock.New())
+	if err := m.Store(2 << 20); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(2 << 20)
+	st := m.Stats()
+	if st.StoredBytes != 0 || st.SwapBytes != 0 {
+		t.Errorf("after release: %+v", st)
+	}
+	// Over-release clamps.
+	m.Release(1 << 20)
+	if m.Stats().StoredBytes != 0 {
+		t.Error("negative stored bytes")
+	}
+}
+
+func TestFetchChargesWhenSwapped(t *testing.T) {
+	clk := simclock.New()
+	m := New(smallConfig(), clk)
+	if err := m.Store(4 << 20); err != nil { // mostly swapped
+		t.Fatal(err)
+	}
+	before := clk.Now()
+	charged := false
+	for i := 0; i < 50; i++ {
+		m.Fetch(256*1024, 0)
+		if clk.Now() > before {
+			charged = true
+			break
+		}
+	}
+	if !charged {
+		t.Error("50 cold fetches with 3/4 swap fraction charged nothing")
+	}
+	// Perfectly hot fetches never swap in.
+	before = clk.Now()
+	for i := 0; i < 50; i++ {
+		m.Fetch(256*1024, 1)
+	}
+	if clk.Now() != before {
+		t.Error("hot fetch charged swap-in")
+	}
+}
+
+func TestVisitedTableResize(t *testing.T) {
+	clk := simclock.New()
+	m := New(smallConfig(), clk)
+	slots0 := m.Stats().Slots
+	for i := 0; i < 13; i++ { // 13 > 16*3/4
+		m.InsertVisited()
+	}
+	st := m.Stats()
+	if st.Slots <= slots0 {
+		t.Errorf("table did not resize: %d -> %d", slots0, st.Slots)
+	}
+	if st.Resizes == 0 {
+		t.Error("no resize recorded")
+	}
+	if clk.Now() == 0 {
+		t.Error("resize charged no rehash time")
+	}
+}
+
+func TestResizeCausesMemorySpike(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SlotBytes = 4096 // make the table dominate RAM
+	cfg.InitialSlots = 128
+	clk := simclock.New()
+	m := New(cfg, clk)
+	if err := m.Store(400 * 1024); err != nil {
+		t.Fatal(err)
+	}
+	preSwap := m.Stats().SwapBytes
+	for i := 0; i < 100; i++ {
+		m.InsertVisited()
+	}
+	if m.Stats().SwapBytes <= preSwap {
+		t.Error("table growth caused no swap pressure")
+	}
+}
+
+func TestDeterministicRandom(t *testing.T) {
+	run := func() time.Duration {
+		clk := simclock.New()
+		m := New(smallConfig(), clk)
+		if err := m.Store(4 << 20); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			m.Fetch(64*1024, 0.3)
+		}
+		return clk.Now()
+	}
+	if run() != run() {
+		t.Error("fetch randomness not deterministic")
+	}
+}
+
+func TestDefaultConfigMatchesPaperVM(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.RAMBytes != 64<<30 {
+		t.Errorf("RAM = %d, want 64 GiB (the paper's VM)", cfg.RAMBytes)
+	}
+	if cfg.SwapBytes != 128<<30 {
+		t.Errorf("swap = %d, want 128 GiB", cfg.SwapBytes)
+	}
+}

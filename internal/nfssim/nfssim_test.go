@@ -1,0 +1,171 @@
+package nfssim
+
+import (
+	"testing"
+
+	"mcfs/internal/errno"
+	"mcfs/internal/simclock"
+)
+
+func newServer(t *testing.T) *Server {
+	t.Helper()
+	return New(simclock.New())
+}
+
+func TestCreateLookupReadWrite(t *testing.T) {
+	s := newServer(t)
+	fh, e := s.Create(s.RootFH(), "file", 0644)
+	if e != errno.OK {
+		t.Fatalf("Create: %v", e)
+	}
+	got, e := s.Lookup(s.RootFH(), "file")
+	if e != errno.OK || got != fh {
+		t.Errorf("Lookup = (%v, %v)", got, e)
+	}
+	if _, e := s.Write(fh, 0, []byte("data over the wire")); e != errno.OK {
+		t.Fatal(e)
+	}
+	data, e := s.Read(fh, 5, 4)
+	if e != errno.OK || string(data) != "over" {
+		t.Errorf("Read = (%q, %v)", data, e)
+	}
+	a, e := s.Getattr(fh)
+	if e != errno.OK || a.Size != 18 || a.IsDir {
+		t.Errorf("Getattr = (%+v, %v)", a, e)
+	}
+}
+
+func TestMkdirReaddirSorted(t *testing.T) {
+	s := newServer(t)
+	if _, e := s.Mkdir(s.RootFH(), "zz", 0755); e != errno.OK {
+		t.Fatal(e)
+	}
+	if _, e := s.Create(s.RootFH(), "aa", 0644); e != errno.OK {
+		t.Fatal(e)
+	}
+	ents, e := s.Readdir(s.RootFH())
+	if e != errno.OK || len(ents) != 2 {
+		t.Fatalf("Readdir = (%v, %v)", ents, e)
+	}
+	if ents[0].Name != "aa" || ents[1].Name != "zz" {
+		t.Errorf("order = %v", ents)
+	}
+}
+
+func TestRemoveAndRmdir(t *testing.T) {
+	s := newServer(t)
+	d, _ := s.Mkdir(s.RootFH(), "dir", 0755)
+	if _, e := s.Create(d, "f", 0644); e != errno.OK {
+		t.Fatal(e)
+	}
+	if e := s.Rmdir(s.RootFH(), "dir"); e != errno.ENOTEMPTY {
+		t.Errorf("rmdir non-empty = %v", e)
+	}
+	if e := s.Remove(d, "f"); e != errno.OK {
+		t.Fatal(e)
+	}
+	if e := s.Rmdir(s.RootFH(), "dir"); e != errno.OK {
+		t.Errorf("rmdir = %v", e)
+	}
+	if e := s.Remove(s.RootFH(), "ghost"); e != errno.ENOENT {
+		t.Errorf("remove missing = %v", e)
+	}
+	// Remove on a dir is EISDIR.
+	d2, _ := s.Mkdir(s.RootFH(), "d2", 0755)
+	_ = d2
+	if e := s.Remove(s.RootFH(), "d2"); e != errno.EISDIR {
+		t.Errorf("remove dir = %v", e)
+	}
+}
+
+func TestStaleHandle(t *testing.T) {
+	s := newServer(t)
+	fh, _ := s.Create(s.RootFH(), "f", 0644)
+	if e := s.Remove(s.RootFH(), "f"); e != errno.OK {
+		t.Fatal(e)
+	}
+	if _, e := s.Getattr(fh); e != errno.ENOENT {
+		t.Errorf("stale handle getattr = %v", e)
+	}
+	if _, e := s.Read(fh, 0, 1); e != errno.ENOENT {
+		t.Errorf("stale handle read = %v", e)
+	}
+}
+
+func TestSetattrTruncate(t *testing.T) {
+	s := newServer(t)
+	fh, _ := s.Create(s.RootFH(), "f", 0644)
+	if _, e := s.Write(fh, 0, []byte("0123456789")); e != errno.OK {
+		t.Fatal(e)
+	}
+	size := int64(4)
+	if e := s.Setattr(fh, nil, nil, nil, &size); e != errno.OK {
+		t.Fatal(e)
+	}
+	data, _ := s.Read(fh, 0, 100)
+	if string(data) != "0123" {
+		t.Errorf("after truncate = %q", data)
+	}
+	size = 8
+	if e := s.Setattr(fh, nil, nil, nil, &size); e != errno.OK {
+		t.Fatal(e)
+	}
+	data, _ = s.Read(fh, 0, 100)
+	if len(data) != 8 || data[7] != 0 {
+		t.Errorf("grow-truncate = %v", data)
+	}
+}
+
+func TestSaveLoadImageDeepCopy(t *testing.T) {
+	s := newServer(t)
+	fh, _ := s.Create(s.RootFH(), "f", 0644)
+	if _, e := s.Write(fh, 0, []byte("original")); e != errno.OK {
+		t.Fatal(e)
+	}
+	img, size, err := s.SaveImage()
+	if err != nil || size == 0 {
+		t.Fatalf("SaveImage = (%v, %d)", err, size)
+	}
+	// Mutate, then mutate more to check the image is isolated.
+	if _, e := s.Write(fh, 0, []byte("MUTATED!")); e != errno.OK {
+		t.Fatal(e)
+	}
+	if err := s.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := s.Read(fh, 0, 100)
+	if string(data) != "original" {
+		t.Errorf("after LoadImage = %q", data)
+	}
+	// Loading twice must work (image not consumed by LoadImage).
+	if _, e := s.Write(fh, 0, []byte("again!!!")); e != errno.OK {
+		t.Fatal(e)
+	}
+	if err := s.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = s.Read(fh, 0, 100)
+	if string(data) != "original" {
+		t.Errorf("after second LoadImage = %q", data)
+	}
+}
+
+func TestProcessInterface(t *testing.T) {
+	s := newServer(t)
+	if s.ProcessName() != "nfs-ganesha" {
+		t.Errorf("ProcessName = %q", s.ProcessName())
+	}
+	if len(s.OpenDeviceFiles()) != 0 {
+		t.Errorf("OpenDeviceFiles = %v", s.OpenDeviceFiles())
+	}
+}
+
+func TestRPCChargesClock(t *testing.T) {
+	clk := simclock.New()
+	s := New(clk)
+	before := clk.Now()
+	s.Getattr(s.RootFH())
+	if clk.Now() == before {
+		t.Error("RPC charged no time")
+	}
+}

@@ -1,0 +1,47 @@
+package vfs
+
+import "strings"
+
+// SplitPath breaks an absolute, slash-separated path into its components,
+// dropping empty components and resolving "." lexically. ".." is NOT
+// resolved lexically — the kernel resolves it during the walk so that
+// "a/symlink/.." behaves like Linux, not like path.Clean.
+//
+// SplitPath("/") and SplitPath("") return an empty slice.
+func SplitPath(p string) []string {
+	parts := strings.Split(p, "/")
+	out := parts[:0]
+	for _, c := range parts {
+		if c == "" || c == "." {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// BaseName returns the final component of p, or "" for the root.
+func BaseName(p string) string {
+	parts := SplitPath(p)
+	if len(parts) == 0 {
+		return ""
+	}
+	return parts[len(parts)-1]
+}
+
+// DirPath returns p without its final component, always with a leading
+// slash: DirPath("/a/b/c") = "/a/b", DirPath("/a") = "/", DirPath("/") = "/".
+func DirPath(p string) string {
+	parts := SplitPath(p)
+	if len(parts) <= 1 {
+		return "/"
+	}
+	return "/" + strings.Join(parts[:len(parts)-1], "/")
+}
+
+// JoinPath joins path components under root with single slashes.
+func JoinPath(parts ...string) string {
+	joined := strings.Join(parts, "/")
+	segs := SplitPath(joined)
+	return "/" + strings.Join(segs, "/")
+}

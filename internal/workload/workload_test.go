@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"mcfs/internal/errno"
+	"mcfs/internal/fs/verifs2"
+	"mcfs/internal/kernel"
+	"mcfs/internal/simclock"
+	"mcfs/internal/vfs"
+)
+
+func testKernel(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	clk := simclock.New()
+	k := kernel.New(clk)
+	f := verifs2.New(clk)
+	if err := k.Mount("/mnt", kernel.FilesystemSpec{
+		Type:    "verifs2",
+		Mounter: func() (vfs.FS, error) { return f, nil },
+	}, kernel.MountOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestEnumerateBounded(t *testing.T) {
+	p := DefaultPool()
+	ops := p.Enumerate()
+	if len(ops) == 0 {
+		t.Fatal("empty enumeration")
+	}
+	// Enumeration must be deterministic.
+	ops2 := p.Enumerate()
+	if len(ops) != len(ops2) {
+		t.Fatal("non-deterministic enumeration size")
+	}
+	for i := range ops {
+		if ops[i] != ops2[i] {
+			t.Fatalf("non-deterministic enumeration at %d", i)
+		}
+	}
+}
+
+func TestVeriFS1PoolExcludesUnsupported(t *testing.T) {
+	ops := VeriFS1Pool().Enumerate()
+	for _, op := range ops {
+		switch op.Kind {
+		case OpRename, OpLink, OpSymlink:
+			t.Errorf("VeriFS1 pool contains %v", op)
+		}
+	}
+}
+
+func TestCreateFileMetaOp(t *testing.T) {
+	k := testKernel(t)
+	r := Execute(k, "/mnt", Op{Kind: OpCreateFile, Path: "/f", Mode: 0644})
+	if r.Err != errno.OK {
+		t.Fatalf("create_file: %v", r.Err)
+	}
+	// No fd leaked: the meta-op closes what it opens (§4).
+	if k.OpenFDs() != 0 {
+		t.Errorf("create_file leaked %d fds", k.OpenFDs())
+	}
+	// Second create of the same path: EEXIST (O_EXCL semantics).
+	r = Execute(k, "/mnt", Op{Kind: OpCreateFile, Path: "/f", Mode: 0644})
+	if r.Err != errno.EEXIST {
+		t.Errorf("duplicate create_file = %v, want EEXIST", r.Err)
+	}
+}
+
+func TestWriteFileMetaOp(t *testing.T) {
+	k := testKernel(t)
+	// write_file on a nonexistent file is the invalid sequence §2 calls
+	// out (write before open/create): consistent ENOENT expected.
+	r := Execute(k, "/mnt", Op{Kind: OpWriteFile, Path: "/f", Off: 0, Size: 4, Byte: 0xAA})
+	if r.Err != errno.ENOENT {
+		t.Errorf("write_file missing = %v, want ENOENT", r.Err)
+	}
+	Execute(k, "/mnt", Op{Kind: OpCreateFile, Path: "/f", Mode: 0644})
+	r = Execute(k, "/mnt", Op{Kind: OpWriteFile, Path: "/f", Off: 2, Size: 4, Byte: 0xAA})
+	if r.Err != errno.OK || r.Ret != 4 {
+		t.Fatalf("write_file = %+v", r)
+	}
+	if k.OpenFDs() != 0 {
+		t.Errorf("write_file leaked %d fds", k.OpenFDs())
+	}
+	rd := Execute(k, "/mnt", Op{Kind: OpRead, Path: "/f"})
+	if rd.Err != errno.OK || rd.Ret != 6 {
+		t.Fatalf("read_file = %+v", rd)
+	}
+	want := []byte{0, 0, 0xAA, 0xAA, 0xAA, 0xAA}
+	for i, b := range want {
+		if rd.Data[i] != b {
+			t.Errorf("byte %d = %#x, want %#x", i, rd.Data[i], b)
+		}
+	}
+}
+
+func TestDirectoryOps(t *testing.T) {
+	k := testKernel(t)
+	if r := Execute(k, "/mnt", Op{Kind: OpMkdir, Path: "/d", Mode: 0755}); r.Err != errno.OK {
+		t.Fatal(r.Err)
+	}
+	if r := Execute(k, "/mnt", Op{Kind: OpRmdir, Path: "/d"}); r.Err != errno.OK {
+		t.Fatal(r.Err)
+	}
+	if r := Execute(k, "/mnt", Op{Kind: OpRmdir, Path: "/d"}); r.Err != errno.ENOENT {
+		t.Errorf("rmdir twice = %v", r.Err)
+	}
+}
+
+func TestNamespaceOps(t *testing.T) {
+	k := testKernel(t)
+	Execute(k, "/mnt", Op{Kind: OpCreateFile, Path: "/a", Mode: 0644})
+	if r := Execute(k, "/mnt", Op{Kind: OpRename, Path: "/a", Path2: "/b"}); r.Err != errno.OK {
+		t.Fatalf("rename: %v", r.Err)
+	}
+	if r := Execute(k, "/mnt", Op{Kind: OpLink, Path: "/b", Path2: "/c"}); r.Err != errno.OK {
+		t.Fatalf("link: %v", r.Err)
+	}
+	if r := Execute(k, "/mnt", Op{Kind: OpSymlink, Path: "/s", Path2: "/b"}); r.Err != errno.OK {
+		t.Fatalf("symlink: %v", r.Err)
+	}
+	if r := Execute(k, "/mnt", Op{Kind: OpChmod, Path: "/b", Mode: 0600}); r.Err != errno.OK {
+		t.Fatalf("chmod: %v", r.Err)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Op{Kind: OpCreateFile, Path: "/f"}, "create_file(/f)"},
+		{Op{Kind: OpWriteFile, Path: "/f", Off: 8, Size: 16, Byte: 0xAA}, "write_file(/f, off=8, len=16, byte=0xaa)"},
+		{Op{Kind: OpRename, Path: "/a", Path2: "/b"}, "rename(/a, /b)"},
+		{Op{Kind: OpChmod, Path: "/f", Mode: 0600}, "chmod(/f, 600)"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTrailString(t *testing.T) {
+	trail := []Op{
+		{Kind: OpCreateFile, Path: "/f"},
+		{Kind: OpUnlink, Path: "/f"},
+	}
+	s := TrailString(trail)
+	if !strings.Contains(s, "1. create_file(/f)") || !strings.Contains(s, "2. unlink(/f)") {
+		t.Errorf("TrailString = %q", s)
+	}
+}

@@ -1,0 +1,497 @@
+// Package mcfs is a model-checking framework for file systems, a from-
+// scratch Go reproduction of "Model-Checking Support for File System
+// Development" (HotStorage '21).
+//
+// MCFS compares file systems to each other by nondeterministically
+// issuing bounded sequences of file-system operations against all of
+// them, asserting after every operation that return values, errnos, and
+// abstract states (an MD5 hash of pathnames, file data, and important
+// metadata) agree. The explorer searches the bounded state space
+// exhaustively, pruning states whose abstract hash was already visited
+// and backtracking by restoring concrete file-system state — via
+// unmount/device-restore/remount for kernel file systems, or via the
+// checkpoint/restore ioctl APIs the paper proposes (and VeriFS
+// implements).
+//
+// Quick start:
+//
+//	session, err := mcfs.NewSession(mcfs.Options{
+//	    Targets: []mcfs.TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
+//	    MaxDepth: 3,
+//	    MaxOps:   5000,
+//	})
+//	if err != nil { ... }
+//	defer session.Close()
+//	result := session.Run()
+//	if result.Bug != nil {
+//	    fmt.Println(result.Bug) // discrepancy + replayable trail
+//	}
+//
+// Supported target kinds: "ext2", "ext4" (extfs without/with journal),
+// "xfs" (extent-based, 16 MiB minimum volume), "jffs2" (log-structured on
+// a simulated MTD flash device), "verifs1" and "verifs2" (the paper's
+// RAM file systems with checkpoint/restore support, mounted over a
+// simulated FUSE transport). Device-backed kinds can run on simulated
+// RAM, SSD, or HDD backing stores; VeriFS kinds accept seeded bugs for
+// regenerating the paper's bug-finding results.
+package mcfs
+
+import (
+	"fmt"
+	"sync"
+
+	"mcfs/internal/blockdev"
+	"mcfs/internal/checker"
+	"mcfs/internal/errno"
+	"mcfs/internal/fs/extfs"
+	"mcfs/internal/fs/jffs2sim"
+	"mcfs/internal/fs/verifs1"
+	"mcfs/internal/fs/verifs2"
+	"mcfs/internal/fs/xfssim"
+	"mcfs/internal/fuse"
+	"mcfs/internal/kernel"
+	"mcfs/internal/mc"
+	"mcfs/internal/memmodel"
+	"mcfs/internal/simclock"
+	"mcfs/internal/tracker"
+	"mcfs/internal/vfs"
+	"mcfs/internal/workload"
+)
+
+// Re-exported result types.
+type (
+	// Result summarizes one exploration run.
+	Result = mc.Result
+	// BugReport is a discrepancy plus its replayable trail.
+	BugReport = mc.BugReport
+	// Discrepancy describes one behavioral difference.
+	Discrepancy = checker.Discrepancy
+	// Op is one explored operation.
+	Op = workload.Op
+	// OpKind enumerates operation types for Pool.Ops.
+	OpKind = workload.OpKind
+	// Coverage reports operation/outcome counts for a run.
+	Coverage = mc.Coverage
+	// ResumeState carries visited-state knowledge between runs.
+	ResumeState = mc.ResumeState
+	// Pool is the bounded operation/parameter space.
+	Pool = workload.Pool
+)
+
+// Operation kinds, re-exported for building custom pools.
+const (
+	OpCreateFile = workload.OpCreateFile
+	OpWriteFile  = workload.OpWriteFile
+	OpTruncate   = workload.OpTruncate
+	OpMkdir      = workload.OpMkdir
+	OpRmdir      = workload.OpRmdir
+	OpUnlink     = workload.OpUnlink
+	OpRename     = workload.OpRename
+	OpLink       = workload.OpLink
+	OpSymlink    = workload.OpSymlink
+	OpChmod      = workload.OpChmod
+	OpRead       = workload.OpRead
+)
+
+// Backing selects the storage behind a device-backed file system.
+type Backing string
+
+// Backing stores, per Figure 2.
+const (
+	// BackingRAM is a RAM block device (brd2), the paper's default.
+	BackingRAM Backing = "ram"
+	// BackingSSD simulates an SSD-backed device.
+	BackingSSD Backing = "ssd"
+	// BackingHDD simulates an HDD-backed device.
+	BackingHDD Backing = "hdd"
+)
+
+// Bug names for seeded VeriFS bugs (§6).
+const (
+	// BugTruncateNoZero: VeriFS1's expanding truncate does not zero
+	// newly allocated space.
+	BugTruncateNoZero = "truncate-no-zero"
+	// BugNoCacheInvalidate: VeriFS restores state without invalidating
+	// kernel caches.
+	BugNoCacheInvalidate = "no-cache-invalidate"
+	// BugWriteHoleNoZero: VeriFS2 does not zero the gap when a write
+	// creates a hole.
+	BugWriteHoleNoZero = "write-hole-no-zero"
+	// BugSizeUpdateOnOverflow: VeriFS2 updates the file size only when a
+	// write grows the file beyond its allocated capacity.
+	BugSizeUpdateOnOverflow = "size-update-on-overflow"
+)
+
+// TargetSpec describes one file system under test.
+type TargetSpec struct {
+	// Kind is "ext2", "ext4", "xfs", "jffs2", "verifs1", or "verifs2".
+	Kind string
+	// Backing selects RAM/SSD/HDD for device-backed kinds; default RAM.
+	Backing Backing
+	// DeviceSize overrides the default device size (256 KiB for ext,
+	// 16 MiB for xfs, 256 KiB MTD for jffs2).
+	DeviceSize int64
+	// Bugs seeds the named defects (VeriFS kinds only).
+	Bugs []string
+	// DisablePerOpRemount turns off the default unmount/remount around
+	// every operation for kernel file systems (the §6 ablation).
+	DisablePerOpRemount bool
+	// VMSnapshot wraps the target's tracker in hypervisor-snapshot
+	// latencies (§5).
+	VMSnapshot bool
+	// DiskOnlyTracking uses the broken §3.2 persistent-state-only
+	// tracker. For demonstrating corruption; never for real checking.
+	DiskOnlyTracking bool
+}
+
+// Options configures a Session.
+type Options struct {
+	// Targets lists the file systems to check against each other.
+	Targets []TargetSpec
+	// Pool overrides the operation/parameter pool. When nil, the pool
+	// defaults to workload.DefaultPool, restricted to VeriFS1's
+	// operation set if any target is verifs1.
+	Pool *Pool
+	// MaxDepth bounds operation-sequence length (default 3).
+	MaxDepth int
+	// MaxOps bounds total executed operations (0 = unlimited).
+	MaxOps int64
+	// MaxStates bounds unique visited states (0 = unlimited).
+	MaxStates int64
+	// Seed diversifies search order (0 = deterministic enumeration).
+	Seed int64
+	// Memory enables the RAM/swap model with the given configuration.
+	Memory *memmodel.Config
+	// DisableEqualizeFreeSpace skips the §3.4 capacity equalization.
+	DisableEqualizeFreeSpace bool
+	// MajorityVote enables majority voting with three or more targets
+	// (the paper's §7 future work): instead of halting at the first
+	// pairwise mismatch, the checker identifies the deviating minority.
+	MajorityVote bool
+	// Resume seeds the visited-state table from a previous run's
+	// Result.Resume, continuing an interrupted exploration (§7).
+	Resume *ResumeState
+}
+
+// Session is an assembled model-checking run: a simulated kernel with
+// every target mounted, a checker, and a tracker per target.
+type Session struct {
+	clock    *simclock.Clock
+	kern     *kernel.Kernel
+	check    *checker.Checker
+	trackers []tracker.Tracker
+	servers  []*fuse.Server
+	cfg      mc.Config
+	mem      *memmodel.Model
+}
+
+// NewSession builds a session: devices are created and formatted, file
+// systems mounted (VeriFS over the FUSE transport), trackers chosen per
+// target kind.
+func NewSession(opts Options) (*Session, error) {
+	if len(opts.Targets) == 0 {
+		return nil, fmt.Errorf("mcfs: no targets")
+	}
+	clock := simclock.New()
+	k := kernel.New(clock)
+	s := &Session{clock: clock, kern: k}
+
+	var targets []checker.Target
+	anyVeriFS1 := false
+	for i, ts := range opts.Targets {
+		point := fmt.Sprintf("/mnt%d", i)
+		name := fmt.Sprintf("%s#%d", ts.Kind, i)
+		if err := s.mountTarget(point, ts, i); err != nil {
+			s.Close()
+			return nil, err
+		}
+		targets = append(targets, checker.Target{Name: name, MountPoint: point})
+		if ts.Kind == "verifs1" {
+			anyVeriFS1 = true
+		}
+	}
+	s.check = checker.New(k, targets)
+
+	var vmGroup *tracker.VMGroup
+	for i, ts := range opts.Targets {
+		point := fmt.Sprintf("/mnt%d", i)
+		tr, err := s.trackerFor(point, ts, &vmGroup)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.trackers = append(s.trackers, tr)
+	}
+
+	var pool workload.Pool
+	switch {
+	case opts.Pool != nil:
+		pool = *opts.Pool
+	case anyVeriFS1:
+		pool = workload.VeriFS1Pool()
+	default:
+		pool = workload.DefaultPool()
+	}
+
+	maxDepth := opts.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = 3
+	}
+	if opts.Memory != nil {
+		s.mem = memmodel.New(*opts.Memory, clock)
+	}
+	s.cfg = mc.Config{
+		Kernel:            k,
+		Checker:           s.check,
+		Trackers:          s.trackers,
+		Pool:              pool,
+		MaxDepth:          maxDepth,
+		MaxOps:            opts.MaxOps,
+		MaxStates:         opts.MaxStates,
+		Seed:              opts.Seed,
+		Mem:               s.mem,
+		EqualizeFreeSpace: !opts.DisableEqualizeFreeSpace,
+		MajorityVote:      opts.MajorityVote,
+		Resume:            opts.Resume,
+	}
+	return s, nil
+}
+
+func (s *Session) deviceFor(name string, ts TargetSpec, size int64) blockdev.Device {
+	profile := blockdev.RAMProfile
+	switch ts.Backing {
+	case BackingSSD:
+		profile = blockdev.SSDProfile
+	case BackingHDD:
+		profile = blockdev.HDDProfile
+	}
+	return blockdev.NewDisk(name, size, 4096, profile, s.clock)
+}
+
+func (s *Session) mountTarget(point string, ts TargetSpec, idx int) error {
+	clock := s.clock
+	k := s.kern
+	switch ts.Kind {
+	case "ext2", "ext4":
+		size := ts.DeviceSize
+		if size == 0 {
+			size = 256 * 1024 // the paper's 256 KB ext devices
+		}
+		dev := s.deviceFor(fmt.Sprintf("ram%d", idx), ts, size)
+		if err := extfs.Mkfs(dev, extfs.MkfsOptions{Journal: ts.Kind == "ext4"}); err != nil {
+			return err
+		}
+		return k.Mount(point, kernel.FilesystemSpec{
+			Type:      ts.Kind,
+			Dev:       dev,
+			Mounter:   func() (vfs.FS, error) { return extfs.Mount(dev, clock) },
+			Unmounter: func(f vfs.FS) error { return f.(*extfs.FS).Unmount() },
+		}, kernel.MountOptions{})
+	case "xfs":
+		size := ts.DeviceSize
+		if size == 0 {
+			size = xfssim.MinVolumeSize // 16 MiB minimum (§6)
+		}
+		dev := s.deviceFor(fmt.Sprintf("ram%d", idx), ts, size)
+		if err := xfssim.Mkfs(dev, xfssim.MkfsOptions{}); err != nil {
+			return err
+		}
+		return k.Mount(point, kernel.FilesystemSpec{
+			Type:      "xfs",
+			Dev:       dev,
+			Mounter:   func() (vfs.FS, error) { return xfssim.Mount(dev, clock) },
+			Unmounter: func(f vfs.FS) error { return f.(*xfssim.FS).Unmount() },
+		}, kernel.MountOptions{})
+	case "jffs2":
+		size := ts.DeviceSize
+		if size == 0 {
+			size = 256 * 1024
+		}
+		// JFFS2 mounts on an MTD device (mtdram); MCFS reaches the flash
+		// through the mtdblock bridge for state tracking (§4).
+		mtd := blockdev.NewMTD(fmt.Sprintf("mtd%d", idx), size, 8*1024, clock)
+		if err := jffs2sim.Mkfs(mtd); err != nil {
+			return err
+		}
+		bridge := blockdev.NewMTDBlock(mtd)
+		return k.Mount(point, kernel.FilesystemSpec{
+			Type:      "jffs2",
+			Dev:       bridge,
+			Mounter:   func() (vfs.FS, error) { return jffs2sim.Mount(mtd, clock) },
+			Unmounter: func(f vfs.FS) error { return f.(*jffs2sim.FS).Unmount() },
+		}, kernel.MountOptions{})
+	case "verifs1", "verifs2":
+		backing, err := buildVeriFS(ts, clock)
+		if err != nil {
+			return err
+		}
+		srv := fuse.NewServer(backing, clock, fuse.ServerOptions{
+			SkipInvalidateOnRestore: hasBug(ts.Bugs, BugNoCacheInvalidate),
+		})
+		s.servers = append(s.servers, srv)
+		client := fuse.NewClient(srv, clock)
+		return k.Mount(point, kernel.FilesystemSpec{
+			Type:    ts.Kind,
+			Mounter: func() (vfs.FS, error) { return client, nil },
+		}, kernel.MountOptions{})
+	default:
+		return fmt.Errorf("mcfs: unknown target kind %q", ts.Kind)
+	}
+}
+
+func hasBug(bugs []string, name string) bool {
+	for _, b := range bugs {
+		if b == name {
+			return true
+		}
+	}
+	return false
+}
+
+func buildVeriFS(ts TargetSpec, clock *simclock.Clock) (vfs.FS, error) {
+	switch ts.Kind {
+	case "verifs1":
+		var opts []verifs1.Option
+		for _, b := range ts.Bugs {
+			switch b {
+			case BugTruncateNoZero:
+				opts = append(opts, verifs1.WithTruncateBug())
+			case BugNoCacheInvalidate:
+				// Handled at the FUSE server layer.
+			default:
+				return nil, fmt.Errorf("mcfs: verifs1 does not support bug %q", b)
+			}
+		}
+		return verifs1.New(clock, opts...), nil
+	case "verifs2":
+		var opts []verifs2.Option
+		for _, b := range ts.Bugs {
+			switch b {
+			case BugWriteHoleNoZero:
+				opts = append(opts, verifs2.WithHoleBug())
+			case BugSizeUpdateOnOverflow:
+				opts = append(opts, verifs2.WithSizeBug())
+			case BugNoCacheInvalidate:
+				// Handled at the FUSE server layer.
+			default:
+				return nil, fmt.Errorf("mcfs: verifs2 does not support bug %q", b)
+			}
+		}
+		return verifs2.New(clock, opts...), nil
+	}
+	return nil, fmt.Errorf("mcfs: not a VeriFS kind: %q", ts.Kind)
+}
+
+func (s *Session) trackerFor(point string, ts TargetSpec, vmGroup **tracker.VMGroup) (tracker.Tracker, error) {
+	var tr tracker.Tracker
+	switch ts.Kind {
+	case "verifs1", "verifs2":
+		tr = tracker.NewCheckpoint(s.kern, point)
+	case "ext2", "ext4", "xfs", "jffs2":
+		if ts.DiskOnlyTracking {
+			tr = tracker.NewDiskOnly(s.kern, point)
+		} else {
+			tr = tracker.NewRemount(s.kern, point, !ts.DisablePerOpRemount)
+		}
+	default:
+		return nil, fmt.Errorf("mcfs: unknown target kind %q", ts.Kind)
+	}
+	if ts.VMSnapshot {
+		if *vmGroup == nil {
+			*vmGroup = tracker.NewVMGroup(s.kern)
+		}
+		tr = tracker.NewVMSnapshot(*vmGroup, tr)
+	}
+	return tr, nil
+}
+
+// Run performs the exploration and returns the result. Run may be called
+// once per session; build a fresh session for a fresh run.
+func (s *Session) Run() Result { return mc.Run(s.cfg) }
+
+// Replay re-executes a trail from the session's current state, returning
+// the first discrepancy (nil when the trail no longer reproduces).
+func (s *Session) Replay(trail []Op) (*Discrepancy, error) {
+	return mc.Replay(s.cfg, trail)
+}
+
+// Kernel exposes the session's simulated kernel for direct syscall use
+// (examples and tests drive file systems through it).
+func (s *Session) Kernel() *kernel.Kernel { return s.kern }
+
+// Clock returns the session's virtual clock.
+func (s *Session) Clock() *simclock.Clock { return s.clock }
+
+// Checker exposes the integrity checker.
+func (s *Session) Checker() *checker.Checker { return s.check }
+
+// Config exposes the underlying engine configuration (benchmarks tune
+// it).
+func (s *Session) Config() *mc.Config { return &s.cfg }
+
+// MemoryStats reports the memory model's occupancy; zero Stats when the
+// session runs without a memory model.
+func (s *Session) MemoryStats() memmodel.Stats {
+	if s.mem == nil {
+		return memmodel.Stats{}
+	}
+	return s.mem.Stats()
+}
+
+// Close shuts down the session's user-space file system servers.
+func (s *Session) Close() {
+	for _, srv := range s.servers {
+		srv.Shutdown()
+	}
+	s.servers = nil
+}
+
+// DefaultMemoryConfig returns the memory-model configuration matching
+// the paper's evaluation VM (64 GB RAM, 128 GB swap on SSD).
+func DefaultMemoryConfig() memmodel.Config { return memmodel.DefaultConfig() }
+
+// Swarm runs n diversified exploration sessions in parallel (Spin's
+// swarm verification, §2). The factory returns the Options for each
+// worker seed; every worker gets fully independent file system instances
+// and its own virtual clock. Results arrive in worker order.
+func Swarm(n int, factory func(seed int64) (Options, error)) ([]Result, error) {
+	var mu sync.Mutex
+	var sessions []*Session
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+	results, err := mc.Swarm(n, func(seed int64) (mc.Config, error) {
+		opts, err := factory(seed)
+		if err != nil {
+			return mc.Config{}, err
+		}
+		opts.Seed = seed
+		s, err := NewSession(opts)
+		if err != nil {
+			return mc.Config{}, err
+		}
+		mu.Lock()
+		sessions = append(sessions, s)
+		mu.Unlock()
+		return s.cfg, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Verify re-checks that all targets currently agree, returning the
+// discrepancy if they do not. Useful after driving targets manually via
+// Kernel().
+func (s *Session) Verify() (*Discrepancy, error) {
+	d, e := s.check.CheckStates("verify")
+	if e != errno.OK {
+		return nil, fmt.Errorf("mcfs: verify: %w", e)
+	}
+	return d, nil
+}
