@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	longrun [-days N] [-samples-per-day N]
+//	longrun [-days N] [-samples-per-day N] [-progress] [-metrics-addr :8080]
 //
 // A short real exploration calibrates the per-operation cost; the
 // long-run dynamics come from the memory model (visited-state growth,
 // the hash-table resize crash, swap spill, and the late RAM-hit-rate
-// rebound).
+// rebound). With -progress every simulated point streams to stderr as it
+// is computed; -metrics-addr serves the calibration run's metrics plus
+// the live figure3.* gauges as JSON.
 package main
 
 import (
@@ -17,14 +19,36 @@ import (
 	"os"
 
 	"mcfs"
+	"mcfs/internal/obs"
 )
 
 func main() {
 	days := flag.Float64("days", 14, "virtual days to simulate")
 	samplesPerDay := flag.Int("samples-per-day", 4, "output samples per day")
+	progress := flag.Bool("progress", false, "stream every simulated point to stderr as it is computed")
+	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics at this address (/metrics); \":0\" picks a port")
 	flag.Parse()
 
-	points, err := mcfs.RunFigure3(mcfs.Figure3Config{Days: *days})
+	cfg := mcfs.Figure3Config{Days: *days}
+	if *progress {
+		cfg.Progress = func(p mcfs.Figure3Point) {
+			fmt.Fprintf(os.Stderr, "progress: day %5.2f  %8.1f ops/s  %6.1f GB swap\n",
+				p.Day, p.OpsPerSec, p.SwapGB)
+		}
+	}
+	if *metricsAddr != "" {
+		hub := obs.New(obs.Options{})
+		cfg.Obs = hub
+		srv, err := obs.ServeMetrics(*metricsAddr, hub.Snapshot)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "longrun: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr)
+	}
+
+	points, err := mcfs.RunFigure3(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "longrun: %v\n", err)
 		os.Exit(1)

@@ -6,27 +6,37 @@
 //
 //	mcfs -fs ext2 -fs ext4 [-depth 3] [-max-ops 100000] [-seed 0]
 //	     [-bug name] [-backing ram|ssd|hdd] [-no-remount] [-swarm N]
+//	     [-progress 1s] [-metrics-addr :8080] [-trace-dump] [-coverage]
 //
 // Supported -fs kinds: ext2, ext4, xfs, jffs2, verifs1, verifs2.
 // Seedable -bug names (applied to the LAST -fs target):
 // truncate-no-zero, no-cache-invalidate, write-hole-no-zero,
 // size-update-on-overflow.
 //
+// Observability: -progress prints a Spin-style status line per engine at
+// the given wall-clock interval (one lane per swarm worker); -metrics-addr
+// serves the aggregated metrics as JSON at /metrics (plus net/http/pprof
+// under /debug/pprof/); -trace-dump prints the cross-layer span trace of a
+// reported bug trail; -coverage prints the per-(operation, errno) outcome
+// matrix after the run.
+//
 // Examples:
 //
 //	mcfs -fs ext2 -fs ext4                  # cross-check two kernel FSes
 //	mcfs -fs verifs1 -fs verifs2            # checkpoint/restore tracking
-//	mcfs -fs verifs1 -fs verifs2 -bug write-hole-no-zero
-//	mcfs -fs verifs1 -fs verifs2 -swarm 4   # swarm verification
+//	mcfs -fs verifs1 -fs verifs2 -bug write-hole-no-zero -trace-dump
+//	mcfs -fs verifs1 -fs verifs2 -swarm 4 -progress 1s -metrics-addr :0
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"mcfs"
+	"mcfs/internal/obs"
 )
 
 type stringList []string
@@ -49,6 +59,10 @@ func main() {
 	noRemount := flag.Bool("no-remount", false, "disable per-operation remounts for kernel FSes")
 	swarm := flag.Int("swarm", 0, "run N diversified workers in parallel (0 = single engine)")
 	majority := flag.Bool("majority", false, "with 3+ targets, identify the deviating minority (majority voting)")
+	progress := flag.Duration("progress", 0, "print a status line per engine at this wall-clock interval (0 = off)")
+	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics at this address (/metrics, /debug/pprof/); \":0\" picks a port")
+	traceDump := flag.Bool("trace-dump", false, "dump the cross-layer span trace of a reported bug trail")
+	coverage := flag.Bool("coverage", false, "print the per-(operation, errno) outcome matrix")
 	flag.Parse()
 
 	if len(fsKinds) < 2 {
@@ -57,7 +71,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	buildOptions := func() mcfs.Options {
+	// Observability stays fully off (nil hub, zero overhead) unless a
+	// flag needs it.
+	obsOn := *progress > 0 || *metricsAddr != "" || *traceDump
+
+	buildOptions := func(hub *obs.Hub) mcfs.Options {
 		targets := make([]mcfs.TargetSpec, len(fsKinds))
 		for i, kind := range fsKinds {
 			targets[i] = mcfs.TargetSpec{
@@ -74,37 +92,99 @@ func main() {
 			MaxStates:    *maxStates,
 			Seed:         *seed,
 			MajorityVote: *majority,
+			Obs:          hub,
 		}
 	}
 
-	if *swarm > 0 {
-		results, err := mcfs.Swarm(*swarm, func(seed int64) (mcfs.Options, error) {
-			return buildOptions(), nil
+	// One hub per engine: the single-run case gets one "main" lane, a
+	// swarm gets one lane per worker so the progress report shows every
+	// worker's depth/states/rate separately.
+	var hubs []*obs.Hub
+	var lanes []obs.Lane
+	if obsOn {
+		n := *swarm
+		if n <= 0 {
+			n = 1
+		}
+		hubs = make([]*obs.Hub, n)
+		for i := range hubs {
+			hubs[i] = obs.New(obs.Options{})
+			name := "main"
+			if *swarm > 0 {
+				name = fmt.Sprintf("w%d", i+1)
+			}
+			lanes = append(lanes, obs.Lane{Name: name, Hub: hubs[i]})
+		}
+	}
+
+	if *metricsAddr != "" {
+		srv, err := obs.ServeMetrics(*metricsAddr, func() obs.Snapshot {
+			snaps := make([]obs.Snapshot, len(hubs))
+			for i, h := range hubs {
+				snaps[i] = h.Snapshot()
+			}
+			return obs.Merge(snaps...)
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
 			os.Exit(1)
 		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr)
+	}
+
+	reporter := obs.NewReporter(os.Stderr, *progress, lanes)
+	reporter.Start()
+	defer reporter.Stop()
+
+	if *swarm > 0 {
+		results, err := mcfs.Swarm(*swarm, func(seed int64) (mcfs.Options, error) {
+			var hub *obs.Hub
+			if obsOn {
+				hub = hubs[seed-1]
+			}
+			return buildOptions(hub), nil
+		})
+		reporter.Stop()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
+			os.Exit(1)
+		}
 		exit := 0
+		merged := mcfs.NewCoverage()
 		for i, res := range results {
 			fmt.Printf("--- worker %d ---\n", i+1)
-			printResult(res)
+			printResult(res, *traceDump)
+			if res.Coverage.ByOpErrno != nil {
+				merged.Merge(res.Coverage)
+			}
 			if res.Bug != nil {
 				exit = 3
 			}
 		}
+		if *coverage {
+			printCoverage(merged)
+		}
 		os.Exit(exit)
 	}
 
-	session, err := mcfs.NewSession(buildOptions())
+	var hub *obs.Hub
+	if obsOn {
+		hub = hubs[0]
+	}
+	session, err := mcfs.NewSession(buildOptions(hub))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
 		os.Exit(1)
 	}
 	defer session.Close()
 	res := session.Run()
-	printResult(res)
+	reporter.Stop()
+	printResult(res, *traceDump)
 	fmt.Printf("syscalls executed: %d\n", session.Kernel().SyscallCount())
+	if *coverage {
+		printCoverage(res.Coverage)
+	}
 	if res.Bug != nil {
 		os.Exit(3)
 	}
@@ -113,7 +193,7 @@ func main() {
 	}
 }
 
-func printResult(res mcfs.Result) {
+func printResult(res mcfs.Result, traceDump bool) {
 	if res.Err != nil {
 		fmt.Fprintf(os.Stderr, "engine error: %v\n", res.Err)
 		return
@@ -129,6 +209,53 @@ func printResult(res mcfs.Result) {
 	}
 	fmt.Printf("\nDISCREPANCY after %d operations:\n%v\n", res.Bug.OpsExecuted, res.Bug.Discrepancy)
 	fmt.Printf("trail:\n%s", trailOf(res.Bug))
+	if traceDump && len(res.Bug.TrailSpans) > 0 {
+		fmt.Printf("\ncross-layer trace of the trail:\n")
+		obs.WriteTrace(os.Stdout, res.Bug.TrailSpans)
+	}
+}
+
+// printCoverage renders the per-(operation, errno) outcome matrix: one
+// row per operation kind, one column per errno observed anywhere.
+func printCoverage(cov mcfs.Coverage) {
+	if len(cov.ByOpErrno) == 0 {
+		fmt.Println("\ncoverage: no outcomes recorded")
+		return
+	}
+	ops := make([]string, 0, len(cov.ByOpErrno))
+	for op := range cov.ByOpErrno {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	errs := make([]string, 0, len(cov.ByErrno))
+	for e := range cov.ByErrno {
+		errs = append(errs, e)
+	}
+	sort.Strings(errs)
+
+	fmt.Printf("\ncoverage (op x errno), error-path ratio %.1f%%:\n", cov.ErrorPathRatio()*100)
+	width := 0
+	for _, op := range ops {
+		if len(op) > width {
+			width = len(op)
+		}
+	}
+	header := fmt.Sprintf("%*s", width, "")
+	for _, e := range errs {
+		header += fmt.Sprintf(" %8s", e)
+	}
+	fmt.Println(header)
+	for _, op := range ops {
+		row := fmt.Sprintf("%*s", width, op)
+		for _, e := range errs {
+			if n := cov.Pair(op, e); n != 0 {
+				row += fmt.Sprintf(" %8d", n)
+			} else {
+				row += fmt.Sprintf(" %8s", ".")
+			}
+		}
+		fmt.Println(row)
+	}
 }
 
 func trailOf(b *mcfs.BugReport) string {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mcfs/internal/memmodel"
+	"mcfs/internal/obs"
 )
 
 // This file regenerates the paper's evaluation (§6): Figure 2's
@@ -213,15 +214,23 @@ type Figure3Config struct {
 	// operation revisits a known state. Revisits of recently-touched
 	// states hit RAM, producing the paper's day-13-14 rebound.
 	SaturationStates int64
+	// Progress, when non-nil, receives every simulated point as it is
+	// computed, letting callers stream the multi-day series live.
+	Progress func(Figure3Point)
+	// Obs, when non-nil, is threaded into the calibration exploration and
+	// tracks the simulated series as gauges ("figure3.day" in hours,
+	// "figure3.ops_per_sec", "figure3.swap_gb").
+	Obs *obs.Hub
 }
 
 // measureVeriFS1 runs a short real exploration to extract the base
 // per-operation cost and concrete-state size for Figure 3.
-func measureVeriFS1() (time.Duration, int64, error) {
+func measureVeriFS1(hub *obs.Hub) (time.Duration, int64, error) {
 	s, err := NewSession(Options{
 		Targets:  []TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
 		MaxDepth: 4,
 		MaxOps:   400,
+		Obs:      hub,
 	})
 	if err != nil {
 		return 0, 0, err
@@ -257,7 +266,7 @@ func RunFigure3(cfg Figure3Config) ([]Figure3Point, error) {
 		cfg.Days = 14
 	}
 	if cfg.BasePerOp == 0 || cfg.StateBytes == 0 {
-		perOp, stateBytes, err := measureVeriFS1()
+		perOp, stateBytes, err := measureVeriFS1(cfg.Obs)
 		if err != nil {
 			return nil, err
 		}
@@ -399,11 +408,18 @@ func RunFigure3(cfg Figure3Config) ([]Figure3Point, error) {
 		if memCfg.SwapBytes > 0 && swap > float64(memCfg.SwapBytes) {
 			swap = float64(memCfg.SwapBytes) // swap full; thrashing at the edge
 		}
-		points = append(points, Figure3Point{
+		pt := Figure3Point{
 			Day:       float64(h+1) / 24,
 			OpsPerSec: ops / step.Seconds(),
 			SwapGB:    swap / (1 << 30),
-		})
+		}
+		points = append(points, pt)
+		cfg.Obs.Gauge("figure3.day").Set(int64(h + 1))
+		cfg.Obs.Gauge("figure3.ops_per_sec").Set(int64(pt.OpsPerSec))
+		cfg.Obs.Gauge("figure3.swap_gb").Set(int64(pt.SwapGB))
+		if cfg.Progress != nil {
+			cfg.Progress(pt)
+		}
 	}
 	return points, nil
 }

@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"mcfs/internal/obs"
 	"mcfs/internal/simclock"
 )
 
@@ -138,6 +139,23 @@ type Disk struct {
 	failWrites bool // fault injection: all writes fail
 
 	reads, writes int64 // medium request counters
+
+	// Observability handles (nil unless SetObs was called): medium
+	// requests are mirrored to per-device counters, and the big
+	// tracker-driven transfers (Snapshot/Restore) get LayerBlockdev
+	// spans. Per-page cache hits are deliberately not traced.
+	obsHub              *obs.Hub
+	ctrReads, ctrWrites *obs.Counter
+}
+
+// SetObs attaches an observability hub, registering the device's read
+// and write counters under "blockdev.<name>.reads"/".writes". Nil-safe.
+func (d *Disk) SetObs(h *obs.Hub) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.obsHub = h
+	d.ctrReads = h.Counter("blockdev." + d.name + ".reads")
+	d.ctrWrites = h.Counter("blockdev." + d.name + ".writes")
 }
 
 // NewRAM returns a RAM disk of the given size. Sizes need not match
@@ -221,6 +239,7 @@ func (d *Disk) ReadAt(p []byte, off int64) error {
 	}
 	if coldPages > 0 {
 		d.reads++
+		d.ctrReads.Inc()
 		d.charge(d.seekCost(off) + time.Duration(coldPages*cachePage/1024)*d.profile.PerKiB)
 		d.lastEnd = off + int64(len(p))
 	}
@@ -246,6 +265,7 @@ func (d *Disk) WriteAt(p []byte, off int64) error {
 		d.cached[pg] = true
 	}
 	d.writes++
+	d.ctrWrites.Inc()
 	kib := (len(p) + 1023) / 1024
 	d.charge(d.seekCost(off) + time.Duration(kib)*d.profile.PerKiB)
 	d.lastEnd = off + int64(len(p))
@@ -272,6 +292,7 @@ func (d *Disk) Sync() error {
 func (d *Disk) Snapshot() ([]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.obsHub.StartSpan(obs.LayerBlockdev, "snapshot:"+d.name).End()
 	img := make([]byte, len(d.data))
 	copy(img, d.data)
 	coldPages := 0
@@ -283,6 +304,7 @@ func (d *Disk) Snapshot() ([]byte, error) {
 	}
 	if coldPages > 0 {
 		d.reads++
+		d.ctrReads.Inc()
 		d.charge(d.profile.Seek + time.Duration(coldPages*cachePage/1024)*d.profile.PerKiB)
 	}
 	d.charge(time.Duration(len(d.data)/1024) * d.profile.CachedPerKiB)
@@ -300,11 +322,13 @@ func (d *Disk) Restore(img []byte) error {
 	if d.failWrites {
 		return ErrWriteFault
 	}
+	defer d.obsHub.StartSpan(obs.LayerBlockdev, "restore:"+d.name).End()
 	copy(d.data, img)
 	for pg := range d.cached {
 		d.cached[pg] = true
 	}
 	d.writes++
+	d.ctrWrites.Inc()
 	kib := (len(img) + 1023) / 1024
 	d.charge(d.profile.Seek + time.Duration(kib)*d.profile.PerKiB)
 	d.lastEnd = int64(len(img))

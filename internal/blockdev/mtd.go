@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"mcfs/internal/obs"
 	"mcfs/internal/simclock"
 )
 
@@ -25,6 +26,20 @@ type MTD struct {
 
 	programCost time.Duration // per KiB programmed
 	eraseCost   time.Duration // per block erase
+
+	// Observability counters (nil unless SetObs was called).
+	ctrReads, ctrWrites, ctrErases *obs.Counter
+}
+
+// SetObs attaches an observability hub, registering the device's read,
+// write (program), and erase counters under "blockdev.<name>.reads",
+// ".writes", and ".erases". Nil-safe.
+func (m *MTD) SetObs(h *obs.Hub) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ctrReads = h.Counter("blockdev." + m.name + ".reads")
+	m.ctrWrites = h.Counter("blockdev." + m.name + ".writes")
+	m.ctrErases = h.Counter("blockdev." + m.name + ".erases")
 }
 
 // NewMTD returns a flash device of the given size with the given erase
@@ -70,6 +85,7 @@ func (m *MTD) ReadAt(p []byte, off int64) error {
 		return fmt.Errorf("%w: off=%d len=%d size=%d dev=%s", ErrOutOfRange, off, len(p), len(m.data), m.name)
 	}
 	copy(p, m.data[off:])
+	m.ctrReads.Inc()
 	m.charge(time.Duration((len(p)+1023)/1024) * time.Microsecond)
 	return nil
 }
@@ -89,6 +105,7 @@ func (m *MTD) Program(p []byte, off int64) error {
 		}
 	}
 	copy(m.data[off:], p)
+	m.ctrWrites.Inc()
 	m.charge(time.Duration((len(p)+1023)/1024) * m.programCost)
 	return nil
 }
@@ -105,6 +122,7 @@ func (m *MTD) Erase(idx int) error {
 		m.data[start+i] = 0xFF
 	}
 	m.eraseCount[idx]++
+	m.ctrErases.Inc()
 	m.charge(m.eraseCost)
 	return nil
 }

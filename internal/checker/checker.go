@@ -22,6 +22,7 @@ import (
 	"mcfs/internal/abstraction"
 	"mcfs/internal/errno"
 	"mcfs/internal/kernel"
+	"mcfs/internal/obs"
 	"mcfs/internal/vfs"
 )
 
@@ -69,6 +70,31 @@ type Checker struct {
 	k       *kernel.Kernel
 	targets []Target
 	opts    abstraction.Options
+
+	obsHub      *obs.Hub
+	histCompare *obs.Histogram
+}
+
+// SetObs attaches an observability hub: every post-operation
+// compare+hash pass records its latency under obs.MetricCompare and
+// opens a LayerChecker span (whose kernel-syscall children are the
+// abstraction traversal). Nil-safe.
+func (c *Checker) SetObs(h *obs.Hub) {
+	c.obsHub = h
+	c.histCompare = h.Histogram(obs.MetricCompare)
+}
+
+// beginCompare opens a comparison span; the returned func completes it.
+func (c *Checker) beginCompare(name string) func() {
+	if c.obsHub == nil {
+		return func() {}
+	}
+	sp := c.obsHub.StartSpan(obs.LayerChecker, name)
+	start := c.obsHub.Now()
+	return func() {
+		c.histCompare.Observe(c.obsHub.Now() - start)
+		sp.End()
+	}
 }
 
 // New builds a checker over the given targets. The abstraction options
@@ -239,6 +265,7 @@ func (c *Checker) CheckAndHashMajority(op string) (*Discrepancy, abstraction.Sta
 	if len(c.targets) < 3 {
 		return c.CheckAndHash(op)
 	}
+	defer c.beginCompare("compare-majority")()
 	hasher := md5.New()
 	hashes := make([]abstraction.State, len(c.targets))
 	records := make([][]abstraction.Record, len(c.targets))
@@ -302,6 +329,7 @@ func (c *Checker) CheckAndHashMajority(op string) (*Discrepancy, abstraction.Sta
 // the discrepancy (if any) is the bug report, and the hash keys the
 // visited-state table.
 func (c *Checker) CheckAndHash(op string) (*Discrepancy, abstraction.State, errno.Errno) {
+	defer c.beginCompare("compare")()
 	hasher := md5.New()
 	var baseRecords []abstraction.Record
 	for i, t := range c.targets {

@@ -25,6 +25,7 @@ import (
 
 	"mcfs/internal/errno"
 	"mcfs/internal/kernel"
+	"mcfs/internal/obs"
 	"mcfs/internal/simclock"
 	"mcfs/internal/vfs"
 )
@@ -63,6 +64,41 @@ const (
 	opRestore
 	opShutdown
 )
+
+// opNames gives FUSE wire names for trace spans, matching the
+// FUSE_LOOKUP/FUSE_GETATTR/... opcode spelling of the real protocol.
+var opNames = [...]string{
+	opLookup:      "LOOKUP",
+	opGetattr:     "GETATTR",
+	opSetattr:     "SETATTR",
+	opCreate:      "CREATE",
+	opMkdir:       "MKDIR",
+	opUnlink:      "UNLINK",
+	opRmdir:       "RMDIR",
+	opRead:        "READ",
+	opWrite:       "WRITE",
+	opReadDir:     "READDIR",
+	opStatFS:      "STATFS",
+	opSync:        "FSYNC",
+	opRename:      "RENAME",
+	opLink:        "LINK",
+	opSymlink:     "SYMLINK",
+	opReadlink:    "READLINK",
+	opSetXattr:    "SETXATTR",
+	opGetXattr:    "GETXATTR",
+	opListXattr:   "LISTXATTR",
+	opRemoveXattr: "REMOVEXATTR",
+	opCheckpoint:  "CHECKPOINT",
+	opRestore:     "RESTORE",
+	opShutdown:    "DESTROY",
+}
+
+func (op opcode) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("opcode(%d)", int(op))
+}
 
 type request struct {
 	op    opcode
@@ -293,6 +329,12 @@ type Client struct {
 	clock  *simclock.Clock
 	inval  kernel.CacheInvalidator
 	root   vfs.Ino
+
+	// Observability handles (nil unless SetObs was called): every
+	// kernel->server round trip is counted and traced as a LayerFS span
+	// named after the FUSE opcode.
+	obsHub      *obs.Hub
+	ctrRequests *obs.Counter
 }
 
 var _ vfs.FS = (*Client)(nil)
@@ -313,10 +355,19 @@ func NewClient(server *Server, clock *simclock.Clock) *Client {
 // calls it at mount time.
 func (c *Client) BindCacheInvalidator(ci kernel.CacheInvalidator) { c.inval = ci }
 
+// SetObs attaches an observability hub, registering the "fuse.requests"
+// counter. Nil-safe.
+func (c *Client) SetObs(h *obs.Hub) {
+	c.obsHub = h
+	c.ctrRequests = h.Counter(obs.MetricFuseRequests)
+}
+
 // FSType implements vfs.Typer, reporting the backing type over FUSE.
 func (c *Client) FSType() string { return vfs.TypeName(c.server.backing) }
 
 func (c *Client) call(req *request) response {
+	defer c.obsHub.StartSpan(obs.LayerFS, req.op.String()).End()
+	c.ctrRequests.Inc()
 	if c.clock != nil {
 		c.clock.Advance(messageCost)
 	}

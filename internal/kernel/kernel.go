@@ -28,6 +28,7 @@ import (
 
 	"mcfs/internal/blockdev"
 	"mcfs/internal/errno"
+	"mcfs/internal/obs"
 	"mcfs/internal/simclock"
 	"mcfs/internal/vfs"
 )
@@ -151,6 +152,13 @@ type Kernel struct {
 
 	syscalls int64
 
+	// Observability handles, nil unless SetObs was called: every
+	// syscall entry opens a LayerKernel span and bumps the syscall
+	// counter; Remount records its latency histogram.
+	obsHub      *obs.Hub
+	ctrSyscalls *obs.Counter
+	histRemount *obs.Histogram
+
 	// UID/GID the driver "process" runs as; MCFS runs as root.
 	UID, GID uint32
 }
@@ -168,11 +176,30 @@ func New(clock *simclock.Clock) *Kernel {
 // Clock returns the kernel's virtual clock.
 func (k *Kernel) Clock() *simclock.Clock { return k.clock }
 
+// SetObs attaches an observability hub. Passing nil detaches it; all
+// instrumentation is nil-safe either way.
+func (k *Kernel) SetObs(h *obs.Hub) {
+	k.obsHub = h
+	k.ctrSyscalls = h.Counter(obs.MetricSyscalls)
+	k.histRemount = h.Histogram(obs.MetricRemount)
+}
+
 func (k *Kernel) charge() {
 	k.syscalls++
+	k.ctrSyscalls.Inc()
 	if k.clock != nil {
 		k.clock.Advance(syscallCost)
 	}
+}
+
+// begin opens the named syscall's kernel span and charges the entry
+// cost. Syscall entry points use `defer k.begin("open").End()`: the
+// span opens before the CPU charge, so even a no-op syscall has a
+// non-zero virtual duration.
+func (k *Kernel) begin(name string) obs.SpanHandle {
+	sp := k.obsHub.StartSpan(obs.LayerKernel, name)
+	k.charge()
+	return sp
 }
 
 // SyscallCount reports the number of syscalls served since boot; the
@@ -241,6 +268,15 @@ func (k *Kernel) Unmount(point string) error {
 // cache-coherency hammer (§3.2): the only way to guarantee no stale state
 // remains in kernel memory.
 func (k *Kernel) Remount(point string) error {
+	sp := k.obsHub.StartSpan(obs.LayerKernel, "remount")
+	start := k.obsHub.Now()
+	err := k.remount(point)
+	k.histRemount.Observe(k.obsHub.Now() - start)
+	sp.End()
+	return err
+}
+
+func (k *Kernel) remount(point string) error {
 	point = vfs.JoinPath(point)
 	m, ok := k.mounts[point]
 	if !ok {

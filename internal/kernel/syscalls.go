@@ -12,7 +12,7 @@ import (
 
 // Open opens (optionally creating) a file and returns a descriptor.
 func (k *Kernel) Open(path string, flags vfs.OpenFlag, mode vfs.Mode) (FD, errno.Errno) {
-	k.charge()
+	defer k.begin("open").End()
 	r, e := k.resolve(path, true)
 	if e != errno.OK {
 		return -1, e
@@ -74,7 +74,7 @@ const OExclCreate = vfs.OCreate | vfs.OExcl
 
 // Close releases a descriptor.
 func (k *Kernel) Close(fd FD) errno.Errno {
-	k.charge()
+	defer k.begin("close").End()
 	if _, ok := k.fds[fd]; !ok {
 		return errno.EBADF
 	}
@@ -84,7 +84,7 @@ func (k *Kernel) Close(fd FD) errno.Errno {
 
 // ReadFD reads up to n bytes at the descriptor's offset, advancing it.
 func (k *Kernel) ReadFD(fd FD, n int) ([]byte, errno.Errno) {
-	k.charge()
+	defer k.begin("read").End()
 	of, ok := k.fds[fd]
 	if !ok {
 		return nil, errno.EBADF
@@ -104,7 +104,7 @@ func (k *Kernel) ReadFD(fd FD, n int) ([]byte, errno.Errno) {
 // WriteFD writes data at the descriptor's offset, advancing it. With
 // O_APPEND the write lands at EOF regardless of the offset.
 func (k *Kernel) WriteFD(fd FD, data []byte) (int, errno.Errno) {
-	k.charge()
+	defer k.begin("write").End()
 	of, ok := k.fds[fd]
 	if !ok {
 		return 0, errno.EBADF
@@ -131,7 +131,7 @@ func (k *Kernel) WriteFD(fd FD, data []byte) (int, errno.Errno) {
 
 // PReadFD reads n bytes at an explicit offset (pread).
 func (k *Kernel) PReadFD(fd FD, off int64, n int) ([]byte, errno.Errno) {
-	k.charge()
+	defer k.begin("pread").End()
 	of, ok := k.fds[fd]
 	if !ok {
 		return nil, errno.EBADF
@@ -149,7 +149,7 @@ func (k *Kernel) PReadFD(fd FD, off int64, n int) ([]byte, errno.Errno) {
 
 // PWriteFD writes data at an explicit offset (pwrite).
 func (k *Kernel) PWriteFD(fd FD, off int64, data []byte) (int, errno.Errno) {
-	k.charge()
+	defer k.begin("pwrite").End()
 	of, ok := k.fds[fd]
 	if !ok {
 		return 0, errno.EBADF
@@ -168,7 +168,7 @@ func (k *Kernel) PWriteFD(fd FD, off int64, data []byte) (int, errno.Errno) {
 
 // Seek sets the descriptor offset (whence: 0=set, 1=cur, 2=end).
 func (k *Kernel) Seek(fd FD, off int64, whence int) (int64, errno.Errno) {
-	k.charge()
+	defer k.begin("seek").End()
 	of, ok := k.fds[fd]
 	if !ok {
 		return 0, errno.EBADF
@@ -197,7 +197,7 @@ func (k *Kernel) Seek(fd FD, off int64, whence int) (int64, errno.Errno) {
 
 // FsyncFD flushes the file's file system.
 func (k *Kernel) FsyncFD(fd FD) errno.Errno {
-	k.charge()
+	defer k.begin("fsync").End()
 	of, ok := k.fds[fd]
 	if !ok {
 		return errno.EBADF
@@ -207,7 +207,7 @@ func (k *Kernel) FsyncFD(fd FD) errno.Errno {
 
 // Mkdir creates a directory.
 func (k *Kernel) Mkdir(path string, mode vfs.Mode) errno.Errno {
-	k.charge()
+	defer k.begin("mkdir").End()
 	r, e := k.resolve(path, true)
 	if e != errno.OK {
 		return e
@@ -231,7 +231,7 @@ func (k *Kernel) Mkdir(path string, mode vfs.Mode) errno.Errno {
 
 // Rmdir removes an empty directory.
 func (k *Kernel) Rmdir(path string) errno.Errno {
-	k.charge()
+	defer k.begin("rmdir").End()
 	r, e := k.resolve(path, false)
 	if e != errno.OK {
 		return e
@@ -255,7 +255,7 @@ func (k *Kernel) Rmdir(path string) errno.Errno {
 
 // Unlink removes a file or symlink.
 func (k *Kernel) Unlink(path string) errno.Errno {
-	k.charge()
+	defer k.begin("unlink").End()
 	r, e := k.resolve(path, false)
 	if e != errno.OK {
 		return e
@@ -279,7 +279,7 @@ func (k *Kernel) Unlink(path string) errno.Errno {
 
 // Rename moves oldPath to newPath (within one mount).
 func (k *Kernel) Rename(oldPath, newPath string) errno.Errno {
-	k.charge()
+	defer k.begin("rename").End()
 	ro, e := k.resolve(oldPath, false)
 	if e != errno.OK {
 		return e
@@ -325,7 +325,7 @@ func (k *Kernel) Rename(oldPath, newPath string) errno.Errno {
 
 // Link creates a hard link newPath referring to oldPath's inode.
 func (k *Kernel) Link(oldPath, newPath string) errno.Errno {
-	k.charge()
+	defer k.begin("link").End()
 	ro, e := k.resolve(oldPath, false)
 	if e != errno.OK {
 		return e
@@ -360,7 +360,7 @@ func (k *Kernel) Link(oldPath, newPath string) errno.Errno {
 
 // Symlink creates a symbolic link at path pointing to target.
 func (k *Kernel) Symlink(target, path string) errno.Errno {
-	k.charge()
+	defer k.begin("symlink").End()
 	r, e := k.resolve(path, true)
 	if e != errno.OK {
 		return e
@@ -385,7 +385,7 @@ func (k *Kernel) Symlink(target, path string) errno.Errno {
 
 // Readlink returns the target of the symlink at path.
 func (k *Kernel) Readlink(path string) (string, errno.Errno) {
-	k.charge()
+	defer k.begin("readlink").End()
 	r, e := k.resolve(path, false)
 	if e != errno.OK {
 		return "", e
@@ -402,7 +402,7 @@ func (k *Kernel) Readlink(path string) (string, errno.Errno) {
 
 // Stat returns metadata, following symlinks.
 func (k *Kernel) Stat(path string) (vfs.Stat, errno.Errno) {
-	k.charge()
+	defer k.begin("stat").End()
 	r, e := k.resolve(path, true)
 	if e != errno.OK {
 		return vfs.Stat{}, e
@@ -415,7 +415,7 @@ func (k *Kernel) Stat(path string) (vfs.Stat, errno.Errno) {
 
 // Lstat returns metadata without following a final symlink.
 func (k *Kernel) Lstat(path string) (vfs.Stat, errno.Errno) {
-	k.charge()
+	defer k.begin("lstat").End()
 	r, e := k.resolve(path, false)
 	if e != errno.OK {
 		return vfs.Stat{}, e
@@ -429,7 +429,7 @@ func (k *Kernel) Lstat(path string) (vfs.Stat, errno.Errno) {
 // Access reports whether path exists (mode checks are trivial for root,
 // which is how MCFS runs).
 func (k *Kernel) Access(path string) errno.Errno {
-	k.charge()
+	defer k.begin("access").End()
 	r, e := k.resolve(path, true)
 	if e != errno.OK {
 		return e
@@ -442,7 +442,7 @@ func (k *Kernel) Access(path string) errno.Errno {
 
 // Chmod updates permission bits.
 func (k *Kernel) Chmod(path string, mode vfs.Mode) errno.Errno {
-	k.charge()
+	defer k.begin("chmod").End()
 	r, e := k.resolve(path, true)
 	if e != errno.OK {
 		return e
@@ -462,7 +462,7 @@ func (k *Kernel) Chmod(path string, mode vfs.Mode) errno.Errno {
 
 // Chown updates ownership.
 func (k *Kernel) Chown(path string, uid, gid uint32) errno.Errno {
-	k.charge()
+	defer k.begin("chown").End()
 	r, e := k.resolve(path, true)
 	if e != errno.OK {
 		return e
@@ -481,7 +481,7 @@ func (k *Kernel) Chown(path string, uid, gid uint32) errno.Errno {
 
 // Truncate sets the file size.
 func (k *Kernel) Truncate(path string, size int64) errno.Errno {
-	k.charge()
+	defer k.begin("truncate").End()
 	r, e := k.resolve(path, true)
 	if e != errno.OK {
 		return e
@@ -500,7 +500,7 @@ func (k *Kernel) Truncate(path string, size int64) errno.Errno {
 
 // GetDents lists a directory (unsorted, exactly as the FS returns it).
 func (k *Kernel) GetDents(path string) ([]vfs.DirEntry, errno.Errno) {
-	k.charge()
+	defer k.begin("getdents").End()
 	r, e := k.resolve(path, true)
 	if e != errno.OK {
 		return nil, e
@@ -513,7 +513,7 @@ func (k *Kernel) GetDents(path string) ([]vfs.DirEntry, errno.Errno) {
 
 // Statfs reports file system usage.
 func (k *Kernel) Statfs(path string) (vfs.StatFS, errno.Errno) {
-	k.charge()
+	defer k.begin("statfs").End()
 	m, _, e := k.MountAt(path)
 	if e != errno.OK {
 		return vfs.StatFS{}, e
@@ -523,7 +523,7 @@ func (k *Kernel) Statfs(path string) (vfs.StatFS, errno.Errno) {
 
 // SyncFS flushes the file system containing path.
 func (k *Kernel) SyncFS(path string) errno.Errno {
-	k.charge()
+	defer k.begin("syncfs").End()
 	m, _, e := k.MountAt(path)
 	if e != errno.OK {
 		return e
@@ -534,7 +534,7 @@ func (k *Kernel) SyncFS(path string) errno.Errno {
 // Ioctl dispatches an ioctl on path. IoctlCheckpoint/IoctlRestore route
 // to the Checkpointer API when the file system provides it (§5).
 func (k *Kernel) Ioctl(path string, cmd uint32, arg uint64) errno.Errno {
-	k.charge()
+	defer k.begin("ioctl").End()
 	r, e := k.resolve(path, true)
 	if e != errno.OK {
 		return e
@@ -565,7 +565,7 @@ func (k *Kernel) Ioctl(path string, cmd uint32, arg uint64) errno.Errno {
 
 // SetXattr sets an extended attribute.
 func (k *Kernel) SetXattr(path, name string, value []byte) errno.Errno {
-	k.charge()
+	defer k.begin("setxattr").End()
 	r, e := k.resolve(path, true)
 	if e != errno.OK {
 		return e
@@ -587,7 +587,7 @@ func (k *Kernel) SetXattr(path, name string, value []byte) errno.Errno {
 
 // GetXattr reads an extended attribute.
 func (k *Kernel) GetXattr(path, name string) ([]byte, errno.Errno) {
-	k.charge()
+	defer k.begin("getxattr").End()
 	r, e := k.resolve(path, true)
 	if e != errno.OK {
 		return nil, e
@@ -604,7 +604,7 @@ func (k *Kernel) GetXattr(path, name string) ([]byte, errno.Errno) {
 
 // ListXattr lists extended attribute names.
 func (k *Kernel) ListXattr(path string) ([]string, errno.Errno) {
-	k.charge()
+	defer k.begin("listxattr").End()
 	r, e := k.resolve(path, true)
 	if e != errno.OK {
 		return nil, e
@@ -621,7 +621,7 @@ func (k *Kernel) ListXattr(path string) ([]string, errno.Errno) {
 
 // RemoveXattr deletes an extended attribute.
 func (k *Kernel) RemoveXattr(path, name string) errno.Errno {
-	k.charge()
+	defer k.begin("removexattr").End()
 	r, e := k.resolve(path, true)
 	if e != errno.OK {
 		return e

@@ -1,0 +1,43 @@
+package mc_test
+
+import (
+	"testing"
+
+	"mcfs"
+	"mcfs/internal/obs"
+)
+
+// benchExplore runs one bounded exploration per iteration. Comparing the
+// NilObs and WithObs variants shows what instrumentation costs: with a
+// nil hub every instrument call is a single nil check, so the two should
+// be within noise of each other.
+func benchExplore(b *testing.B, hub func() *obs.Hub) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := mcfs.NewSession(mcfs.Options{
+			Targets:  []mcfs.TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
+			MaxDepth: 2,
+			MaxOps:   300,
+			Obs:      hub(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := s.Run()
+		s.Close()
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if res.Bug != nil {
+			b.Fatalf("unexpected bug: %v", res.Bug)
+		}
+	}
+}
+
+func BenchmarkExploreNilObs(b *testing.B) {
+	benchExplore(b, func() *obs.Hub { return nil })
+}
+
+func BenchmarkExploreWithObs(b *testing.B) {
+	benchExplore(b, func() *obs.Hub { return obs.New(obs.Options{}) })
+}

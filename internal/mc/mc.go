@@ -25,6 +25,7 @@ import (
 	"mcfs/internal/checker"
 	"mcfs/internal/kernel"
 	"mcfs/internal/memmodel"
+	"mcfs/internal/obs"
 	"mcfs/internal/simclock"
 	"mcfs/internal/tracker"
 	"mcfs/internal/workload"
@@ -67,6 +68,11 @@ type Config struct {
 	// Resume seeds the visited table from an earlier run's Result.Resume,
 	// so exploration continues where the interrupted run left off (§7).
 	Resume *ResumeState
+	// Obs, when set, receives engine metrics (ops, visited-table
+	// hits/misses, DFS depth) and per-operation cross-layer spans.
+	// All instrumentation is nil-safe: a nil Obs costs one branch per
+	// operation and nothing else.
+	Obs *obs.Hub
 }
 
 // BugReport is a discrepancy plus the trail that produced it.
@@ -78,6 +84,10 @@ type BugReport struct {
 	Trail []workload.Op
 	// OpsExecuted counts operations executed up to detection.
 	OpsExecuted int64
+	// TrailSpans is the cross-layer span trace of the trail: one
+	// LayerMC span per trail operation, with kernel/fs/tracker/checker
+	// child spans. Populated only when Config.Obs was set.
+	TrailSpans []obs.Span
 }
 
 // Error renders the report.
@@ -117,6 +127,46 @@ type Coverage struct {
 	ByOp map[string]int64
 	// ByErrno counts outcomes per errno name across all targets.
 	ByErrno map[string]int64
+	// ByOpErrno counts outcomes per (operation kind, errno) pair —
+	// which op produced which errno, not just the two marginals.
+	ByOpErrno map[string]map[string]int64
+}
+
+func newCoverage() Coverage {
+	return Coverage{
+		ByOp:      make(map[string]int64),
+		ByErrno:   make(map[string]int64),
+		ByOpErrno: make(map[string]map[string]int64),
+	}
+}
+
+// NewCoverage returns an empty Coverage, ready to Merge other runs'
+// coverage into (aggregating swarm workers).
+func NewCoverage() Coverage { return newCoverage() }
+
+// Pair returns how often op produced errno.
+func (c Coverage) Pair(op, errName string) int64 {
+	return c.ByOpErrno[op][errName]
+}
+
+// Merge folds other's counts into c (aggregating swarm workers).
+func (c Coverage) Merge(other Coverage) {
+	for op, n := range other.ByOp {
+		c.ByOp[op] += n
+	}
+	for e, n := range other.ByErrno {
+		c.ByErrno[e] += n
+	}
+	for op, m := range other.ByOpErrno {
+		dst := c.ByOpErrno[op]
+		if dst == nil {
+			dst = make(map[string]int64, len(m))
+			c.ByOpErrno[op] = dst
+		}
+		for e, n := range m {
+			dst[e] += n
+		}
+	}
 }
 
 // ErrorPathRatio reports the fraction of observed outcomes that were
@@ -163,6 +213,58 @@ type engine struct {
 	coverage  Coverage
 	exhausted bool // op/state budget hit
 	rng       uint64
+
+	eobs *engineObs // nil when Config.Obs is unset
+}
+
+// engineObs holds the engine's pre-resolved observability handles, so
+// the hot path pays map lookups once, at Run start.
+type engineObs struct {
+	hub    *obs.Hub
+	ops    *obs.Counter
+	hits   *obs.Counter
+	misses *obs.Counter
+	depth  *obs.Gauge
+
+	// lastStep is the span collection of the most recent operation;
+	// trailTraces mirrors engine.trail with each trail op's collection,
+	// so a bug report can carry its full cross-layer trace even after
+	// the tracer ring has recycled those spans.
+	lastStep    []obs.Span
+	trailTraces [][]obs.Span
+}
+
+// beginOp opens the per-operation collection window and LayerMC span.
+func (e *engine) beginOp(op workload.Op, depth int) obs.SpanHandle {
+	if e.eobs == nil {
+		return obs.SpanHandle{}
+	}
+	e.eobs.depth.Set(int64(depth))
+	e.eobs.hub.StartCollecting()
+	return e.eobs.hub.StartSpan(obs.LayerMC, "op:"+op.String())
+}
+
+// endOp closes the operation span and stows its collected spans.
+func (e *engine) endOp(sp obs.SpanHandle) {
+	if e.eobs == nil {
+		return
+	}
+	sp.End()
+	e.eobs.lastStep = e.eobs.hub.StopCollecting()
+}
+
+// attachTrailTrace copies the current trail's span collections into the
+// bug report (called once, right after the step that found the bug).
+func (e *engine) attachTrailTrace() {
+	if e.eobs == nil || e.bug == nil || e.bug.TrailSpans != nil {
+		return
+	}
+	var spans []obs.Span
+	for _, t := range e.eobs.trailTraces {
+		spans = append(spans, t...)
+	}
+	spans = append(spans, e.eobs.lastStep...)
+	e.bug.TrailSpans = spans
 }
 
 // Run explores the configured state space and returns the result.
@@ -173,8 +275,17 @@ func Run(cfg Config) Result {
 		cfg:      cfg,
 		ops:      cfg.Pool.Enumerate(),
 		visited:  make(map[abstraction.State]int),
-		coverage: Coverage{ByOp: make(map[string]int64), ByErrno: make(map[string]int64)},
+		coverage: newCoverage(),
 		rng:      uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03,
+	}
+	if cfg.Obs != nil {
+		e.eobs = &engineObs{
+			hub:    cfg.Obs,
+			ops:    cfg.Obs.Counter(obs.MetricOps),
+			hits:   cfg.Obs.Counter(obs.MetricVisitedHits),
+			misses: cfg.Obs.Counter(obs.MetricVisitedMisses),
+			depth:  cfg.Obs.Gauge(obs.MetricDepth),
+		}
 	}
 	if cfg.Resume != nil {
 		for i, st := range cfg.Resume.States {
@@ -200,6 +311,9 @@ func Run(cfg Config) Result {
 	}
 	e.visited[h] = 0
 	e.unique++
+	if e.eobs != nil {
+		e.eobs.misses.Inc()
+	}
 	e.visitCost()
 
 	err := e.dfs(0)
@@ -209,8 +323,7 @@ func Run(cfg Config) Result {
 	res.Revisits = e.revisits
 	res.Bug = e.bug
 	res.Err = err
-	res.Elapsed = clock.Now() - start
-	res.Rate = simclock.Rate(res.Ops, res.Elapsed)
+	res.finalize(clock.Now() - start)
 	res.Coverage = e.coverage
 	resume := &ResumeState{
 		States: make([]abstraction.State, 0, len(e.visited)),
@@ -222,6 +335,20 @@ func Run(cfg Config) Result {
 	}
 	res.Resume = resume
 	return res
+}
+
+// finalize derives the run's aggregate fields from its raw counters.
+// This is the single place Result.Rate is computed: virtual elapsed
+// time can legitimately be zero (a tiny pool whose operations are all
+// served from caches before the clock advances), so guard the division
+// instead of reporting +Inf.
+func (r *Result) finalize(elapsed time.Duration) {
+	r.Elapsed = elapsed
+	if elapsed <= 0 {
+		r.Rate = 0
+		return
+	}
+	r.Rate = simclock.Rate(r.Ops, elapsed)
 }
 
 // shuffled returns the op indices in a seed- and depth-diversified order.
@@ -307,18 +434,31 @@ func (e *engine) dfs(depth int) error {
 		}
 		op := e.ops[opIdx]
 
+		// The per-operation span covers the checkpoints and the step,
+		// so a trail operation's trace shows its tracker and kernel
+		// work as children.
+		sp := e.beginOp(op, depth)
+
 		// Save the current state of every target so we can backtrack.
 		key := e.nextKey
 		e.nextKey++
+		var err error
 		for _, t := range e.cfg.Trackers {
-			if err := t.Checkpoint(key); err != nil {
-				return fmt.Errorf("mc: checkpoint %s: %w", t.Name(), err)
+			if err = t.Checkpoint(key); err != nil {
+				err = fmt.Errorf("mc: checkpoint %s: %w", t.Name(), err)
+				break
 			}
 		}
-		e.storeStateCost()
-
-		if err := e.step(op); err != nil {
+		if err == nil {
+			e.storeStateCost()
+			err = e.step(op)
+		}
+		e.endOp(sp)
+		if err != nil {
 			return err
+		}
+		if e.bug != nil {
+			e.attachTrailTrace()
 		}
 
 		if e.bug == nil {
@@ -330,17 +470,29 @@ func (e *engine) dfs(depth int) error {
 			prevDepth, seen := e.visited[h]
 			if seen && prevDepth <= childDepth {
 				e.revisits++
+				if e.eobs != nil {
+					e.eobs.hits.Inc()
+				}
 			} else {
 				if !seen {
 					e.unique++
+					if e.eobs != nil {
+						e.eobs.misses.Inc()
+					}
 					e.visitCost()
 				}
 				e.visited[h] = childDepth
 				e.trail = append(e.trail, op)
+				if e.eobs != nil {
+					e.eobs.trailTraces = append(e.eobs.trailTraces, e.eobs.lastStep)
+				}
 				if err := e.dfs(childDepth); err != nil {
 					return err
 				}
 				e.trail = e.trail[:len(e.trail)-1]
+				if e.eobs != nil {
+					e.eobs.trailTraces = e.eobs.trailTraces[:len(e.eobs.trailTraces)-1]
+				}
 			}
 		}
 
@@ -380,9 +532,19 @@ func (e *engine) step(op workload.Op) error {
 		}
 	}
 	e.executed++
-	e.coverage.ByOp[op.Kind.String()]++
+	if e.eobs != nil {
+		e.eobs.ops.Inc()
+	}
+	opName := op.Kind.String()
+	e.coverage.ByOp[opName]++
+	pairs := e.coverage.ByOpErrno[opName]
+	if pairs == nil {
+		pairs = make(map[string]int64)
+		e.coverage.ByOpErrno[opName] = pairs
+	}
 	for _, r := range results {
 		e.coverage.ByErrno[r.Err.String()]++
+		pairs[r.Err.String()]++
 	}
 
 	var d *checker.Discrepancy

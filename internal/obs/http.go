@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// MetricsServer serves a JSON metrics snapshot at /metrics (expvar-
+// style: one flat JSON document) and the standard net/http/pprof
+// handlers under /debug/pprof/.
+type MetricsServer struct {
+	// Addr is the bound listen address ("127.0.0.1:43210" for ":0").
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeMetrics binds addr and serves snap() at /metrics plus pprof at
+// /debug/pprof/ until Close. An addr of ":0" picks a free port; read
+// the result's Addr for the bound address.
+func ServeMetrics(addr string, snap func() Snapshot) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = snap().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	m := &MetricsServer{Addr: ln.Addr().String(), ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return m, nil
+}
+
+// Close stops the server and releases the listener.
+func (m *MetricsServer) Close() error {
+	if m == nil {
+		return nil
+	}
+	return m.srv.Close()
+}

@@ -1,0 +1,201 @@
+// Package obs is MCFS's stdlib-only observability layer: an atomic
+// metrics registry (counters, gauges, bounded-bucket latency
+// histograms), a lightweight cross-layer span tracer, a Spin-style
+// periodic progress reporter, and an optional HTTP endpoint serving a
+// JSON metrics snapshot plus net/http/pprof.
+//
+// The paper's §7 future work asks for coverage tracking and for
+// long-running swarm verification that can be interrupted and resumed;
+// neither is usable without visibility into what a multi-hour
+// exploration is doing. This package provides that visibility without
+// perturbing the system under observation: every entry point is
+// nil-safe, so a component holding a nil *Hub (or a nil instrument
+// resolved from one) pays a single branch on the hot path and nothing
+// else. Time is read from a pluggable Now function, which MCFS wires to
+// the session's virtual clock — spans and latency histograms therefore
+// report deterministic virtual durations, not wall time.
+//
+// The central type is the Hub: one per exploration engine (swarm
+// workers each get their own hub; Merge aggregates their snapshots).
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Standard instrument names. Components instrumented by this repo
+// register under these names so dashboards and tests can find them.
+const (
+	// MetricOps counts operations executed by the engine.
+	MetricOps = "mc.ops"
+	// MetricVisitedMisses counts visited-table misses (unique states).
+	MetricVisitedMisses = "mc.visited.misses"
+	// MetricVisitedHits counts visited-table hits (revisit prunes).
+	MetricVisitedHits = "mc.visited.hits"
+	// MetricDepth is the engine's current DFS depth (gauge).
+	MetricDepth = "mc.depth"
+	// MetricSyscalls counts kernel syscall entries.
+	MetricSyscalls = "kernel.syscalls"
+	// MetricRemount is the kernel's remount latency histogram.
+	MetricRemount = "kernel.remount"
+	// MetricCompare is the checker's comparison+hash latency histogram.
+	MetricCompare = "checker.compare"
+	// MetricFuseRequests counts FUSE requests sent by the client.
+	MetricFuseRequests = "fuse.requests"
+)
+
+// Span layers used by the instrumented components, outermost first:
+// an engine step contains kernel syscalls, which contain file-system
+// (FUSE) requests, which contain block-device I/O.
+const (
+	LayerMC       = "mc"
+	LayerTracker  = "tracker"
+	LayerChecker  = "checker"
+	LayerKernel   = "kernel"
+	LayerFS       = "fs"
+	LayerBlockdev = "blockdev"
+)
+
+// Options configures a Hub.
+type Options struct {
+	// Now supplies the hub's time base; MCFS wires the session's
+	// virtual clock here. When nil, wall time since New is used.
+	Now func() time.Duration
+	// TraceCapacity bounds the completed-span ring buffer
+	// (DefaultTraceCapacity when zero or negative).
+	TraceCapacity int
+}
+
+// DefaultTraceCapacity is the span ring size when Options leaves it 0.
+const DefaultTraceCapacity = 16384
+
+// Hub is one observability domain: a metrics registry plus a span
+// tracer sharing one time base. All methods are safe for concurrent use
+// and safe on a nil receiver (returning nil instruments / zero values),
+// so components can hold an optional *Hub without guarding call sites.
+type Hub struct {
+	now atomic.Pointer[func() time.Duration]
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+
+	tracer tracer
+}
+
+// New returns an empty hub.
+func New(opts Options) *Hub {
+	h := &Hub{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+	capacity := opts.TraceCapacity
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	h.tracer.ring = make([]Span, 0, capacity)
+	h.tracer.capacity = capacity
+	nowFn := opts.Now
+	if nowFn == nil {
+		start := time.Now()
+		nowFn = func() time.Duration { return time.Since(start) }
+	}
+	h.now.Store(&nowFn)
+	return h
+}
+
+// SetNow replaces the hub's time base; MCFS calls it when attaching a
+// hub to a session whose virtual clock did not exist yet at New time.
+func (h *Hub) SetNow(now func() time.Duration) {
+	if h == nil || now == nil {
+		return
+	}
+	h.now.Store(&now)
+}
+
+// Now returns the hub's current time (virtual when wired to a
+// simulation clock). Zero on a nil hub.
+func (h *Hub) Now() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return (*h.now.Load())()
+}
+
+// Counter returns the named counter, creating it on first use. Nil on a
+// nil hub; a nil *Counter is a valid no-op instrument.
+func (h *Hub) Counter(name string) *Counter {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.counters[name]
+	if !ok {
+		c = &Counter{}
+		h.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (h *Hub) Gauge(name string) *Gauge {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	g, ok := h.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		h.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named latency histogram, creating it on first
+// use.
+func (h *Hub) Histogram(name string) *Histogram {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hist, ok := h.histograms[name]
+	if !ok {
+		hist = newHistogram()
+		h.histograms[name] = hist
+	}
+	return hist
+}
+
+// Snapshot captures every instrument's current value. The result is
+// deterministic for a given set of instrument values (maps serialize
+// sorted), so snapshots can be diffed and asserted on. Zero value on a
+// nil hub.
+func (h *Hub) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if h == nil {
+		return snap
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for name, c := range h.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range h.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, hist := range h.histograms {
+		snap.Histograms[name] = hist.Snapshot()
+	}
+	return snap
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Lane is one progress line's data source: a named hub. A single-engine
+// run has one lane; a swarm run has one lane per worker.
+type Lane struct {
+	// Name labels the lane, e.g. "w1".
+	Name string
+	// Hub is the lane's instrument source (nil lanes are skipped).
+	Hub *Hub
+}
+
+// Reporter prints Spin-style periodic status lines for a set of lanes:
+//
+//	progress w1: depth=2 states=1543 revisits=210 ops=3201 406.2 ops/s (virtual 7.9s)
+//
+// Rates are computed against each hub's time base, which MCFS wires to
+// the session's virtual clock — the reported ops/s is the paper's
+// model-checking speed, not a wall-clock rate. The ticker itself runs
+// on wall time (that is when the human is watching).
+type Reporter struct {
+	w        io.Writer
+	interval time.Duration
+	lanes    []Lane
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewReporter builds a reporter printing to w every interval.
+func NewReporter(w io.Writer, interval time.Duration, lanes []Lane) *Reporter {
+	return &Reporter{w: w, interval: interval, lanes: lanes}
+}
+
+// Start launches the periodic printer. No-op when the interval is not
+// positive or the reporter is already running.
+func (r *Reporter) Start() {
+	if r == nil || r.interval <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stop != nil {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go r.run(r.stop, r.done)
+}
+
+func (r *Reporter) run(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(r.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			r.Emit()
+		}
+	}
+}
+
+// Stop halts the periodic printer and waits for it to finish. Safe to
+// call on a never-started or already-stopped reporter.
+func (r *Reporter) Stop() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	stop, done := r.stop, r.done
+	r.stop, r.done = nil, nil
+	r.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Emit prints one status line per lane immediately.
+func (r *Reporter) Emit() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, lane := range r.lanes {
+		if lane.Hub == nil {
+			continue
+		}
+		fmt.Fprintln(r.w, StatusLine(lane.Name, lane.Hub))
+	}
+}
+
+// StatusLine renders one lane's Spin-style status line from the hub's
+// standard engine instruments.
+func StatusLine(name string, h *Hub) string {
+	ops := h.Counter(MetricOps).Value()
+	states := h.Counter(MetricVisitedMisses).Value()
+	revisits := h.Counter(MetricVisitedHits).Value()
+	depth := h.Gauge(MetricDepth).Value()
+	elapsed := h.Now()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(ops) / elapsed.Seconds()
+	}
+	return fmt.Sprintf("progress %s: depth=%d states=%d revisits=%d ops=%d %.1f ops/s (virtual %v)",
+		name, depth, states, revisits, ops, rate, elapsed.Round(time.Millisecond))
+}

@@ -3,6 +3,8 @@ package tracker
 import (
 	"fmt"
 	"time"
+
+	"mcfs/internal/obs"
 )
 
 // This file implements CRIU-style process snapshotting (§5): MCFS could
@@ -61,9 +63,13 @@ type clockAdvancer interface {
 type ProcessSnapshotTracker struct {
 	proc  Process
 	clock clockAdvancer
+	obs   obsInstruments
 
 	images map[uint64]savedImage
 }
+
+// SetObs implements ObsSetter.
+func (t *ProcessSnapshotTracker) SetObs(h *obs.Hub) { t.obs.attach(h, t.Name()) }
 
 type savedImage struct {
 	img  any
@@ -88,6 +94,7 @@ func (t *ProcessSnapshotTracker) charge(d time.Duration) {
 // Checkpoint implements Tracker. It refuses processes holding device
 // files, exactly like CRIU refused the paper's FUSE servers.
 func (t *ProcessSnapshotTracker) Checkpoint(key uint64) error {
+	defer t.obs.beginCheckpoint().end()
 	if devs := t.proc.OpenDeviceFiles(); len(devs) > 0 {
 		return &ErrDeviceFilesOpen{Process: t.proc.ProcessName(), Devices: devs}
 	}
@@ -106,6 +113,7 @@ func (t *ProcessSnapshotTracker) Checkpoint(key uint64) error {
 
 // Restore implements Tracker.
 func (t *ProcessSnapshotTracker) Restore(key uint64) error {
+	defer t.obs.beginRestore().end()
 	saved, ok := t.images[key]
 	if !ok {
 		return fmt.Errorf("criu: no image under key %d", key)

@@ -29,6 +29,7 @@ import (
 
 	"mcfs/internal/errno"
 	"mcfs/internal/kernel"
+	"mcfs/internal/obs"
 	"mcfs/internal/vfs"
 )
 
@@ -54,6 +55,62 @@ type Tracker interface {
 	StateBytes() int64
 }
 
+// ObsSetter is implemented by trackers that record checkpoint/restore
+// latency histograms and spans into an observability hub; MCFS attaches
+// the session hub through it.
+type ObsSetter interface {
+	SetObs(h *obs.Hub)
+}
+
+// obsInstruments holds one tracker's observability handles. The zero
+// value (hub nil) is a valid no-op; checkpoint/restore latency is THE
+// metric that decides model-checking throughput, so every tracker
+// carries one of these.
+type obsInstruments struct {
+	hub        *obs.Hub
+	name       string
+	checkpoint *obs.Histogram
+	restore    *obs.Histogram
+}
+
+func (in *obsInstruments) attach(h *obs.Hub, name string) {
+	in.hub = h
+	in.name = name
+	in.checkpoint = h.Histogram("tracker." + name + ".checkpoint")
+	in.restore = h.Histogram("tracker." + name + ".restore")
+}
+
+// obsTimer is an in-flight checkpoint/restore measurement.
+type obsTimer struct {
+	hub   *obs.Hub
+	hist  *obs.Histogram
+	span  obs.SpanHandle
+	start time.Duration
+}
+
+func (in *obsInstruments) begin(kind string, hist *obs.Histogram) obsTimer {
+	if in.hub == nil {
+		return obsTimer{}
+	}
+	return obsTimer{
+		hub:   in.hub,
+		hist:  hist,
+		span:  in.hub.StartSpan(obs.LayerTracker, kind+":"+in.name),
+		start: in.hub.Now(),
+	}
+}
+
+func (in *obsInstruments) beginCheckpoint() obsTimer { return in.begin("checkpoint", in.checkpoint) }
+func (in *obsInstruments) beginRestore() obsTimer    { return in.begin("restore", in.restore) }
+
+func (t obsTimer) end() {
+	if t.hub == nil {
+		return
+	}
+	t.hist.Observe(t.hub.Now() - t.start)
+	t.span.End()
+}
+
 // --- Remount tracker -------------------------------------------------------
 
 // RemountTracker tracks a device-backed file system by snapshotting the
@@ -63,7 +120,11 @@ type RemountTracker struct {
 	point       string
 	perOpRemnts bool
 	snapshots   map[uint64][]byte
+	obs         obsInstruments
 }
+
+// SetObs implements ObsSetter.
+func (t *RemountTracker) SetObs(h *obs.Hub) { t.obs.attach(h, t.Name()) }
 
 // stateCPUPerKiB is the model checker's own cost of handling a concrete
 // state vector (copying the mmap'd image into the state vector, COLLAPSE
@@ -109,6 +170,7 @@ func (t *RemountTracker) mount() (*kernel.Mount, error) {
 // suffices — data is write-through and sync writes back all dirty
 // metadata), then snapshot the image.
 func (t *RemountTracker) Checkpoint(key uint64) error {
+	defer t.obs.beginCheckpoint().end()
 	m, err := t.mount()
 	if err != nil {
 		return err
@@ -133,6 +195,7 @@ func (t *RemountTracker) Checkpoint(key uint64) error {
 // restore the device image, and mount fresh — the only way to guarantee
 // no stale state remains in kernel memory (§3.2).
 func (t *RemountTracker) Restore(key uint64) error {
+	defer t.obs.beginRestore().end()
 	img, ok := t.snapshots[key]
 	if !ok {
 		return fmt.Errorf("tracker: no snapshot under key %d", key)
@@ -201,7 +264,11 @@ type DiskOnlyTracker struct {
 	k         *kernel.Kernel
 	point     string
 	snapshots map[uint64][]byte
+	obs       obsInstruments
 }
+
+// SetObs implements ObsSetter.
+func (t *DiskOnlyTracker) SetObs(h *obs.Hub) { t.obs.attach(h, t.Name()) }
 
 // NewDiskOnly builds the broken disk-only tracker.
 func NewDiskOnly(k *kernel.Kernel, point string) *DiskOnlyTracker {
@@ -213,6 +280,7 @@ func (t *DiskOnlyTracker) Name() string { return "disk-only" }
 
 // Checkpoint implements Tracker: fsync, then snapshot the device.
 func (t *DiskOnlyTracker) Checkpoint(key uint64) error {
+	defer t.obs.beginCheckpoint().end()
 	m, _, e := t.k.MountAt(t.point)
 	if e != errno.OK {
 		return fmt.Errorf("tracker: %s not mounted", t.point)
@@ -232,6 +300,7 @@ func (t *DiskOnlyTracker) Checkpoint(key uint64) error {
 // live mount. The mounted file system's cached metadata is now stale —
 // the §3.2 corruption in action.
 func (t *DiskOnlyTracker) Restore(key uint64) error {
+	defer t.obs.beginRestore().end()
 	img, ok := t.snapshots[key]
 	if !ok {
 		return fmt.Errorf("tracker: no snapshot under key %d", key)
@@ -271,7 +340,11 @@ func (t *DiskOnlyTracker) StateBytes() int64 {
 type CheckpointTracker struct {
 	k     *kernel.Kernel
 	point string
+	obs   obsInstruments
 }
+
+// SetObs implements ObsSetter.
+func (t *CheckpointTracker) SetObs(h *obs.Hub) { t.obs.attach(h, t.Name()) }
 
 // NewCheckpoint builds a checkpoint tracker for a file system that
 // implements vfs.Checkpointer (VeriFS1/VeriFS2, directly or over FUSE).
@@ -284,6 +357,7 @@ func (t *CheckpointTracker) Name() string { return "checkpoint-api" }
 
 // Checkpoint implements Tracker via ioctl_CHECKPOINT.
 func (t *CheckpointTracker) Checkpoint(key uint64) error {
+	defer t.obs.beginCheckpoint().end()
 	if e := t.k.Ioctl(t.point, vfs.IoctlCheckpoint, key); e != errno.OK {
 		return e
 	}
@@ -293,6 +367,7 @@ func (t *CheckpointTracker) Checkpoint(key uint64) error {
 // Restore implements Tracker via ioctl_RESTORE (which also discards the
 // snapshot and fires kernel cache invalidation).
 func (t *CheckpointTracker) Restore(key uint64) error {
+	defer t.obs.beginRestore().end()
 	if e := t.k.Ioctl(t.point, vfs.IoctlRestore, key); e != errno.OK {
 		return e
 	}
@@ -377,6 +452,16 @@ func (g *VMGroup) chargeRestore(key uint64) {
 type VMSnapshotTracker struct {
 	inner Tracker
 	group *VMGroup
+	obs   obsInstruments
+}
+
+// SetObs implements ObsSetter, instrumenting both the VM layer and the
+// wrapped tracker (their histogram names differ by tracker name).
+func (t *VMSnapshotTracker) SetObs(h *obs.Hub) {
+	t.obs.attach(h, t.Name())
+	if s, ok := t.inner.(ObsSetter); ok {
+		s.SetObs(h)
+	}
 }
 
 // NewVMSnapshot wraps inner with VM snapshot latencies charged through
@@ -391,12 +476,14 @@ func (t *VMSnapshotTracker) Name() string { return "vm-snapshot" }
 // Checkpoint implements Tracker, charging the hypervisor checkpoint
 // latency (once per event across the VM's targets).
 func (t *VMSnapshotTracker) Checkpoint(key uint64) error {
+	defer t.obs.beginCheckpoint().end()
 	t.group.chargeCheckpoint(key)
 	return t.inner.Checkpoint(key)
 }
 
 // Restore implements Tracker, charging the hypervisor restore latency.
 func (t *VMSnapshotTracker) Restore(key uint64) error {
+	defer t.obs.beginRestore().end()
 	t.group.chargeRestore(key)
 	return t.inner.Restore(key)
 }

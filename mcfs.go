@@ -52,6 +52,7 @@ import (
 	"mcfs/internal/kernel"
 	"mcfs/internal/mc"
 	"mcfs/internal/memmodel"
+	"mcfs/internal/obs"
 	"mcfs/internal/simclock"
 	"mcfs/internal/tracker"
 	"mcfs/internal/vfs"
@@ -92,6 +93,10 @@ const (
 	OpChmod      = workload.OpChmod
 	OpRead       = workload.OpRead
 )
+
+// NewCoverage returns an empty Coverage ready to Merge per-worker
+// coverage into (aggregating swarm results).
+func NewCoverage() Coverage { return mc.NewCoverage() }
 
 // Backing selects the storage behind a device-backed file system.
 type Backing string
@@ -171,6 +176,11 @@ type Options struct {
 	// Resume seeds the visited-state table from a previous run's
 	// Result.Resume, continuing an interrupted exploration (§7).
 	Resume *ResumeState
+	// Obs attaches an observability hub: the kernel, checker, trackers,
+	// devices, and FUSE transport all record metrics and spans into it,
+	// and the engine exports live progress through it. Nil disables all
+	// instrumentation at zero cost.
+	Obs *obs.Hub
 }
 
 // Session is an assembled model-checking run: a simulated kernel with
@@ -183,6 +193,7 @@ type Session struct {
 	servers  []*fuse.Server
 	cfg      mc.Config
 	mem      *memmodel.Model
+	obsHub   *obs.Hub
 }
 
 // NewSession builds a session: devices are created and formatted, file
@@ -194,7 +205,11 @@ func NewSession(opts Options) (*Session, error) {
 	}
 	clock := simclock.New()
 	k := kernel.New(clock)
-	s := &Session{clock: clock, kern: k}
+	s := &Session{clock: clock, kern: k, obsHub: opts.Obs}
+	// Rebase the hub onto this session's virtual clock so every span and
+	// latency observation is in deterministic virtual time.
+	opts.Obs.SetNow(clock.Now)
+	k.SetObs(opts.Obs)
 
 	var targets []checker.Target
 	anyVeriFS1 := false
@@ -211,6 +226,7 @@ func NewSession(opts Options) (*Session, error) {
 		}
 	}
 	s.check = checker.New(k, targets)
+	s.check.SetObs(opts.Obs)
 
 	var vmGroup *tracker.VMGroup
 	for i, ts := range opts.Targets {
@@ -219,6 +235,9 @@ func NewSession(opts Options) (*Session, error) {
 		if err != nil {
 			s.Close()
 			return nil, err
+		}
+		if os, ok := tr.(tracker.ObsSetter); ok {
+			os.SetObs(opts.Obs)
 		}
 		s.trackers = append(s.trackers, tr)
 	}
@@ -253,6 +272,7 @@ func NewSession(opts Options) (*Session, error) {
 		EqualizeFreeSpace: !opts.DisableEqualizeFreeSpace,
 		MajorityVote:      opts.MajorityVote,
 		Resume:            opts.Resume,
+		Obs:               opts.Obs,
 	}
 	return s, nil
 }
@@ -265,7 +285,9 @@ func (s *Session) deviceFor(name string, ts TargetSpec, size int64) blockdev.Dev
 	case BackingHDD:
 		profile = blockdev.HDDProfile
 	}
-	return blockdev.NewDisk(name, size, 4096, profile, s.clock)
+	d := blockdev.NewDisk(name, size, 4096, profile, s.clock)
+	d.SetObs(s.obsHub)
+	return d
 }
 
 func (s *Session) mountTarget(point string, ts TargetSpec, idx int) error {
@@ -310,6 +332,7 @@ func (s *Session) mountTarget(point string, ts TargetSpec, idx int) error {
 		// JFFS2 mounts on an MTD device (mtdram); MCFS reaches the flash
 		// through the mtdblock bridge for state tracking (§4).
 		mtd := blockdev.NewMTD(fmt.Sprintf("mtd%d", idx), size, 8*1024, clock)
+		mtd.SetObs(s.obsHub)
 		if err := jffs2sim.Mkfs(mtd); err != nil {
 			return err
 		}
@@ -330,6 +353,7 @@ func (s *Session) mountTarget(point string, ts TargetSpec, idx int) error {
 		})
 		s.servers = append(s.servers, srv)
 		client := fuse.NewClient(srv, clock)
+		client.SetObs(s.obsHub)
 		return k.Mount(point, kernel.FilesystemSpec{
 			Type:    ts.Kind,
 			Mounter: func() (vfs.FS, error) { return client, nil },
@@ -424,6 +448,10 @@ func (s *Session) Clock() *simclock.Clock { return s.clock }
 
 // Checker exposes the integrity checker.
 func (s *Session) Checker() *checker.Checker { return s.check }
+
+// Obs returns the observability hub the session was built with (nil when
+// observability is off).
+func (s *Session) Obs() *obs.Hub { return s.obsHub }
 
 // Config exposes the underlying engine configuration (benchmarks tune
 // it).
