@@ -3,9 +3,13 @@
 //
 // Usage:
 //
-//	longrun [-days N] [-samples-per-day N] [-progress] [-metrics-addr :8080]
+//	longrun [-days N] [-samples-per-day N] [-calibration-workers N]
+//	        [-share-visited] [-progress] [-metrics-addr :8080]
 //
-// A short real exploration calibrates the per-operation cost; the
+// A short real exploration calibrates the per-operation cost; with
+// -calibration-workers > 1 the calibration runs as a coordinated swarm
+// of diversified workers (optionally sharing one visited table via
+// -share-visited) and averages the cost over every worker. The
 // long-run dynamics come from the memory model (visited-state growth,
 // the hash-table resize crash, swap spill, and the late RAM-hit-rate
 // rebound). With -progress every simulated point streams to stderr as it
@@ -25,11 +29,17 @@ import (
 func main() {
 	days := flag.Float64("days", 14, "virtual days to simulate")
 	samplesPerDay := flag.Int("samples-per-day", 4, "output samples per day")
+	calWorkers := flag.Int("calibration-workers", 1, "calibrate per-op cost with a swarm of N diversified workers")
+	shareVisited := flag.Bool("share-visited", false, "calibration swarm workers share one visited-state table")
 	progress := flag.Bool("progress", false, "stream every simulated point to stderr as it is computed")
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics at this address (/metrics); \":0\" picks a port")
 	flag.Parse()
 
-	cfg := mcfs.Figure3Config{Days: *days}
+	cfg := mcfs.Figure3Config{
+		Days:               *days,
+		CalibrationWorkers: *calWorkers,
+		ShareVisited:       *shareVisited,
+	}
 	if *progress {
 		cfg.Progress = func(p mcfs.Figure3Point) {
 			fmt.Fprintf(os.Stderr, "progress: day %5.2f  %8.1f ops/s  %6.1f GB swap\n",

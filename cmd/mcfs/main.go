@@ -5,7 +5,8 @@
 // Usage:
 //
 //	mcfs -fs ext2 -fs ext4 [-depth 3] [-max-ops 100000] [-seed 0]
-//	     [-bug name] [-backing ram|ssd|hdd] [-no-remount] [-swarm N]
+//	     [-bug name] [-backing ram|ssd|hdd] [-no-remount]
+//	     [-swarm N] [-share-visited] [-parallelism P]
 //	     [-progress 1s] [-metrics-addr :8080] [-trace-dump] [-coverage]
 //
 // Supported -fs kinds: ext2, ext4, xfs, jffs2, verifs1, verifs2.
@@ -26,6 +27,12 @@
 //	mcfs -fs verifs1 -fs verifs2            # checkpoint/restore tracking
 //	mcfs -fs verifs1 -fs verifs2 -bug write-hole-no-zero -trace-dump
 //	mcfs -fs verifs1 -fs verifs2 -swarm 4 -progress 1s -metrics-addr :0
+//	mcfs -fs verifs1 -fs verifs2 -swarm 8 -share-visited -parallelism 4
+//
+// Swarm mode is coordinated: the first worker to find a bug (or fail)
+// cancels the rest, -share-visited makes workers prune states their
+// peers already expanded, and -parallelism bounds how many of the N
+// workers run at once.
 package main
 
 import (
@@ -58,6 +65,8 @@ func main() {
 	backing := flag.String("backing", "ram", "device backing for kernel FSes: ram, ssd, hdd")
 	noRemount := flag.Bool("no-remount", false, "disable per-operation remounts for kernel FSes")
 	swarm := flag.Int("swarm", 0, "run N diversified workers in parallel (0 = single engine)")
+	shareVisited := flag.Bool("share-visited", false, "swarm workers share one visited-state table (prune peer-explored states)")
+	parallelism := flag.Int("parallelism", 0, "max swarm workers running at once (0 = min(N, GOMAXPROCS))")
 	majority := flag.Bool("majority", false, "with 3+ targets, identify the deviating minority (majority voting)")
 	progress := flag.Duration("progress", 0, "print a status line per engine at this wall-clock interval (0 = off)")
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics at this address (/metrics, /debug/pprof/); \":0\" picks a port")
@@ -138,7 +147,11 @@ func main() {
 	defer reporter.Stop()
 
 	if *swarm > 0 {
-		results, err := mcfs.Swarm(*swarm, func(seed int64) (mcfs.Options, error) {
+		sr, err := mcfs.SwarmRun(mcfs.SwarmOptions{
+			Workers:      *swarm,
+			Parallelism:  *parallelism,
+			ShareVisited: *shareVisited,
+		}, func(seed int64) (mcfs.Options, error) {
 			var hub *obs.Hub
 			if obsOn {
 				hub = hubs[seed-1]
@@ -150,22 +163,37 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
 			os.Exit(1)
 		}
-		exit := 0
-		merged := mcfs.NewCoverage()
-		for i, res := range results {
+		for i, res := range sr.Workers {
 			fmt.Printf("--- worker %d ---\n", i+1)
+			if res.Canceled {
+				fmt.Printf("stopped early after %d ops (peer found a bug or failed)\n", res.Ops)
+				continue
+			}
 			printResult(res, *traceDump)
-			if res.Coverage.ByOpErrno != nil {
-				merged.Merge(res.Coverage)
-			}
-			if res.Bug != nil {
-				exit = 3
-			}
+		}
+		fmt.Printf("--- swarm (merged) ---\n")
+		fmt.Printf("operations executed:  %d\n", sr.Ops)
+		fmt.Printf("unique states:        %d distinct (%d summed, %d duplicated across workers)\n",
+			sr.GlobalUniqueStates, sr.UniqueStates, sr.DuplicateStates)
+		fmt.Printf("revisited states:     %d\n", sr.Revisits)
+		if sr.Err != nil {
+			fmt.Fprintf(os.Stderr, "engine error (worker %d): %v\n", sr.ErrWorker+1, sr.Err)
+		}
+		if sr.Bug != nil {
+			fmt.Printf("\nDISCREPANCY (worker %d) after %d operations:\n%v\n",
+				sr.BugWorker+1, sr.Bug.OpsExecuted, sr.Bug.Discrepancy)
+			fmt.Printf("trail:\n%s", trailOf(sr.Bug))
 		}
 		if *coverage {
-			printCoverage(merged)
+			printCoverage(sr.Coverage)
 		}
-		os.Exit(exit)
+		switch {
+		case sr.Bug != nil:
+			os.Exit(3)
+		case sr.Err != nil:
+			os.Exit(1)
+		}
+		os.Exit(0)
 	}
 
 	var hub *obs.Hub

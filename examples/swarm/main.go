@@ -1,10 +1,19 @@
-// Swarm: run several diversified model-checking workers in parallel —
-// Spin's swarm verification (§2, §7).
+// Swarm: run several diversified model-checking workers as one
+// coordinated parallel search — Spin's swarm verification (§2, §7).
 //
 // Each worker gets its own kernel, file system instances, and a distinct
 // search-order seed, so the workers explore different corners of the
-// state space. With a seeded bug, some workers stumble onto it within a
-// small budget while others do not — the point of diversification.
+// state space. The coordination layer adds three things on top of plain
+// diversification:
+//
+//   - Cancellation: the first worker to find the seeded bug cancels the
+//     rest, so peers stop within one operation instead of burning their
+//     whole budget.
+//   - A shared visited table: with ShareVisited, workers prune states
+//     their peers already expanded, so the swarm covers more distinct
+//     states for the same total budget.
+//   - A merged result: summed operations, globally-distinct state
+//     counts, merged coverage, and the first bug with its trail.
 //
 // Run with:
 //
@@ -20,7 +29,7 @@ import (
 
 func main() {
 	const workers = 6
-	results, err := mcfs.Swarm(workers, func(seed int64) (mcfs.Options, error) {
+	factory := func(seed int64) (mcfs.Options, error) {
 		return mcfs.Options{
 			Targets: []mcfs.TargetSpec{
 				{Kind: "verifs1"},
@@ -29,30 +38,41 @@ func main() {
 			MaxDepth: 3,
 			MaxOps:   1500, // deliberately small per-worker budget
 		}, nil
-	})
+	}
+
+	sr, err := mcfs.SwarmRun(mcfs.SwarmOptions{
+		Workers:      workers,
+		ShareVisited: true,
+	}, factory)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if sr.Err != nil {
+		log.Fatalf("worker %d: %v", sr.ErrWorker+1, sr.Err)
+	}
 
-	found := 0
-	var firstTrailLen int
-	for i, r := range results {
-		if r.Err != nil {
-			log.Fatalf("worker %d: %v", i+1, r.Err)
-		}
+	for i, r := range sr.Workers {
 		status := "no discrepancy in budget"
-		if r.Bug != nil {
-			found++
-			status = fmt.Sprintf("FOUND after %d ops (trail length %d)", r.Bug.OpsExecuted, len(r.Bug.Trail))
-			if firstTrailLen == 0 {
-				firstTrailLen = len(r.Bug.Trail)
-			}
+		switch {
+		case r.Bug != nil:
+			status = fmt.Sprintf("FOUND after %d ops (trail length %d)",
+				r.Bug.OpsExecuted, len(r.Bug.Trail))
+		case r.Canceled:
+			status = "canceled (a peer found the bug first)"
 		}
 		fmt.Printf("worker %d (seed %d): %d ops, %d unique states — %s\n",
 			i+1, i+1, r.Ops, r.UniqueStates, status)
 	}
-	fmt.Printf("\n%d of %d diversified workers found the seeded bug\n", found, workers)
-	if found == 0 {
-		fmt.Println("(increase MaxOps or add workers — diversification is probabilistic)")
+
+	fmt.Printf("\nswarm total: %d ops, %d distinct states (%d duplicated across workers)\n",
+		sr.Ops, sr.GlobalUniqueStates, sr.DuplicateStates)
+	if sr.Bug == nil {
+		fmt.Println("no worker found the seeded bug in budget " +
+			"(increase MaxOps or add workers — diversification is probabilistic)")
+		return
+	}
+	fmt.Printf("first bug found by worker %d; trail:\n", sr.BugWorker+1)
+	for i, op := range sr.Bug.Trail {
+		fmt.Printf("%3d. %s\n", i+1, op)
 	}
 }

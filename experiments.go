@@ -2,8 +2,10 @@ package mcfs
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"mcfs/internal/mc"
 	"mcfs/internal/memmodel"
 	"mcfs/internal/obs"
 )
@@ -221,29 +223,93 @@ type Figure3Config struct {
 	// tracks the simulated series as gauges ("figure3.day" in hours,
 	// "figure3.ops_per_sec", "figure3.swap_gb").
 	Obs *obs.Hub
+	// CalibrationWorkers, when > 1, calibrates BasePerOp with a
+	// coordinated swarm of diversified workers instead of one run,
+	// averaging the per-operation cost over every worker's exploration.
+	CalibrationWorkers int
+	// ShareVisited makes the calibration swarm share one visited table
+	// (workers skip states their peers already expanded).
+	ShareVisited bool
 }
 
 // measureVeriFS1 runs a short real exploration to extract the base
-// per-operation cost and concrete-state size for Figure 3.
-func measureVeriFS1(hub *obs.Hub) (time.Duration, int64, error) {
-	s, err := NewSession(Options{
-		Targets:  []TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
-		MaxDepth: 4,
-		MaxOps:   400,
-		Obs:      hub,
-	})
+// per-operation cost and concrete-state size for Figure 3. With
+// workers > 1 the measurement is a coordinated swarm and the per-op
+// cost averages over every worker's (virtual) exploration time.
+func measureVeriFS1(hub *obs.Hub, workers int, share bool) (time.Duration, int64, error) {
+	calOptions := func(seed int64) Options {
+		return Options{
+			Targets:  []TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
+			MaxDepth: 4,
+			MaxOps:   400,
+			Seed:     seed,
+		}
+	}
+	if workers <= 1 {
+		o := calOptions(0)
+		o.Obs = hub
+		s, err := NewSession(o)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer s.Close()
+		res := s.Run()
+		if res.Err != nil {
+			return 0, 0, res.Err
+		}
+		if res.Ops == 0 {
+			return 0, 0, fmt.Errorf("mcfs: figure 3 measurement executed no ops")
+		}
+		return res.Elapsed / time.Duration(res.Ops), sessionStateBytes(s), nil
+	}
+
+	var mu sync.Mutex
+	var sessions []*Session
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+	sr, err := mc.SwarmRun(mc.SwarmOptions{Workers: workers, ShareVisited: share},
+		func(seed int64) (mc.Config, error) {
+			o := calOptions(seed)
+			if seed == 1 {
+				// The hub rebases onto one session's virtual clock, so
+				// only the first worker carries it.
+				o.Obs = hub
+			}
+			s, err := NewSession(o)
+			if err != nil {
+				return mc.Config{}, err
+			}
+			mu.Lock()
+			sessions = append(sessions, s)
+			mu.Unlock()
+			return *s.Config(), nil
+		})
 	if err != nil {
 		return 0, 0, err
 	}
-	defer s.Close()
-	res := s.Run()
-	if res.Err != nil {
-		return 0, 0, res.Err
+	if sr.Err != nil {
+		return 0, 0, sr.Err
 	}
-	if res.Ops == 0 {
-		return 0, 0, fmt.Errorf("mcfs: figure 3 measurement executed no ops")
+	if sr.Ops == 0 {
+		return 0, 0, fmt.Errorf("mcfs: figure 3 swarm measurement executed no ops")
 	}
-	perOp := res.Elapsed / time.Duration(res.Ops)
+	var elapsed time.Duration
+	for _, r := range sr.Workers {
+		elapsed += r.Elapsed
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return elapsed / time.Duration(sr.Ops), sessionStateBytes(sessions[0]), nil
+}
+
+// sessionStateBytes sums the per-target concrete-state sizes, falling
+// back to the 512 KiB the paper's VeriFS states average.
+func sessionStateBytes(s *Session) int64 {
 	var stateBytes int64
 	for _, t := range s.trackers {
 		stateBytes += t.StateBytes()
@@ -251,7 +317,7 @@ func measureVeriFS1(hub *obs.Hub) (time.Duration, int64, error) {
 	if stateBytes == 0 {
 		stateBytes = 512 * 1024
 	}
-	return perOp, stateBytes, nil
+	return stateBytes
 }
 
 // RunFigure3 regenerates Figure 3: ops/s and swap usage over a simulated
@@ -266,7 +332,7 @@ func RunFigure3(cfg Figure3Config) ([]Figure3Point, error) {
 		cfg.Days = 14
 	}
 	if cfg.BasePerOp == 0 || cfg.StateBytes == 0 {
-		perOp, stateBytes, err := measureVeriFS1(cfg.Obs)
+		perOp, stateBytes, err := measureVeriFS1(cfg.Obs, cfg.CalibrationWorkers, cfg.ShareVisited)
 		if err != nil {
 			return nil, err
 		}
@@ -429,6 +495,81 @@ func RunFigure3(cfg Figure3Config) ([]Figure3Point, error) {
 // states on day 12, small enough that the late-run revisit rate rises and
 // the RAM hit rate rebounds (the paper's day 13-14 uptick).
 const defaultSaturationStates = 800_000_000
+
+// SwarmComparison quantifies what the shared visited table buys a
+// swarm: the same worker pool (identical seeds, targets, depth, and
+// per-worker budget) run twice, once with independent per-worker
+// visited tables and once sharing one table. Duplicates counts states
+// discovered by more than one worker — redundant exploration the
+// shared table eliminates.
+type SwarmComparison struct {
+	// Workers is the pool width; Budget the per-worker op budget.
+	Workers int
+	Budget  int64
+	// Independent and Shared summarize the two runs.
+	Independent SwarmModeStats
+	Shared      SwarmModeStats
+}
+
+// SwarmModeStats summarizes one swarm mode of the comparison.
+type SwarmModeStats struct {
+	// Ops sums executed operations across workers.
+	Ops int64
+	// UniqueStates sums per-worker unique discoveries; GlobalUnique is
+	// the number of distinct states across the whole swarm.
+	UniqueStates int64
+	GlobalUnique int64
+	// Duplicates = UniqueStates - GlobalUnique: states more than one
+	// worker paid to discover.
+	Duplicates int64
+}
+
+func swarmModeStats(sr SwarmResult) SwarmModeStats {
+	return SwarmModeStats{
+		Ops:          sr.Ops,
+		UniqueStates: sr.UniqueStates,
+		GlobalUnique: sr.GlobalUniqueStates,
+		Duplicates:   sr.DuplicateStates,
+	}
+}
+
+// RunSwarmComparison runs the shared-table vs. independent comparison
+// on a clean VeriFS1/VeriFS2 pair (no seeded bug, so no early
+// cancellation skews the totals).
+func RunSwarmComparison(workers int, budget int64) (SwarmComparison, error) {
+	if workers <= 0 {
+		workers = 4
+	}
+	if budget <= 0 {
+		budget = 800
+	}
+	factory := func(seed int64) (Options, error) {
+		return Options{
+			Targets:  []TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
+			MaxDepth: 3,
+			MaxOps:   budget,
+		}, nil
+	}
+	cmp := SwarmComparison{Workers: workers, Budget: budget}
+	for _, share := range []bool{false, true} {
+		sr, err := SwarmRun(SwarmOptions{Workers: workers, ShareVisited: share}, factory)
+		if err != nil {
+			return cmp, err
+		}
+		if sr.Err != nil {
+			return cmp, sr.Err
+		}
+		if sr.Bug != nil {
+			return cmp, fmt.Errorf("mcfs: swarm comparison found an unexpected bug: %v", sr.Bug.Discrepancy)
+		}
+		if share {
+			cmp.Shared = swarmModeStats(sr)
+		} else {
+			cmp.Independent = swarmModeStats(sr)
+		}
+	}
+	return cmp, nil
+}
 
 // SoakResult is the outcome of the E9 soak projection (§5: "over 159
 // million syscalls without any errors").

@@ -139,6 +139,7 @@ var _ vfs.LinkFS = (*FS)(nil)
 var _ vfs.SymlinkFS = (*FS)(nil)
 var _ vfs.XattrFS = (*FS)(nil)
 var _ vfs.Checkpointer = (*FS)(nil)
+var _ vfs.Discarder = (*FS)(nil)
 var _ vfs.Typer = (*FS)(nil)
 
 // New returns an empty VeriFS2 with its root directory allocated.
@@ -867,6 +868,16 @@ func (f *FS) RestoreState(key uint64) errno.Errno {
 	if f.onRestore != nil {
 		f.onRestore()
 	}
+	return errno.OK
+}
+
+// DiscardState implements vfs.Discarder: it drops the snapshot stored
+// under key without touching the live state.
+func (f *FS) DiscardState(key uint64) errno.Errno {
+	if _, ok := f.snapshots[key]; !ok {
+		return errno.ENOENT
+	}
+	delete(f.snapshots, key)
 	return errno.OK
 }
 

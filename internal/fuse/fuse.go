@@ -62,6 +62,7 @@ const (
 	opRemoveXattr
 	opCheckpoint
 	opRestore
+	opDiscard
 	opShutdown
 )
 
@@ -90,6 +91,7 @@ var opNames = [...]string{
 	opRemoveXattr: "REMOVEXATTR",
 	opCheckpoint:  "CHECKPOINT",
 	opRestore:     "RESTORE",
+	opDiscard:     "DISCARD",
 	opShutdown:    "DESTROY",
 }
 
@@ -316,6 +318,12 @@ func (s *Server) dispatch(req *request) response {
 			return response{e: errno.ENOTSUP}
 		}
 		return response{e: cp.RestoreState(req.key)}
+	case opDiscard:
+		dc, ok := fs.(vfs.Discarder)
+		if !ok {
+			return response{e: errno.ENOTSUP}
+		}
+		return response{e: dc.DiscardState(req.key)}
 	}
 	return response{e: errno.ENOSYS}
 }
@@ -343,6 +351,7 @@ var _ vfs.LinkFS = (*Client)(nil)
 var _ vfs.SymlinkFS = (*Client)(nil)
 var _ vfs.XattrFS = (*Client)(nil)
 var _ vfs.Checkpointer = (*Client)(nil)
+var _ vfs.Discarder = (*Client)(nil)
 var _ vfs.Typer = (*Client)(nil)
 var _ kernel.InvalidatorBinder = (*Client)(nil)
 
@@ -527,6 +536,12 @@ func (c *Client) CheckpointState(key uint64) errno.Errno {
 // restore hook enqueues cache invalidations, applied before this returns.
 func (c *Client) RestoreState(key uint64) errno.Errno {
 	return c.call(&request{op: opRestore, key: key}).e
+}
+
+// DiscardState implements vfs.Discarder: ioctl_DISCARD. No invalidation
+// is needed — discarding a snapshot does not change the live state.
+func (c *Client) DiscardState(key uint64) errno.Errno {
+	return c.call(&request{op: opDiscard, key: key}).e
 }
 
 // String aids debugging.

@@ -532,7 +532,8 @@ func (k *Kernel) SyncFS(path string) errno.Errno {
 }
 
 // Ioctl dispatches an ioctl on path. IoctlCheckpoint/IoctlRestore route
-// to the Checkpointer API when the file system provides it (§5).
+// to the Checkpointer API when the file system provides it (§5);
+// IoctlDiscard routes to the optional Discarder API.
 func (k *Kernel) Ioctl(path string, cmd uint32, arg uint64) errno.Errno {
 	defer k.begin("ioctl").End()
 	r, e := k.resolve(path, true)
@@ -556,6 +557,12 @@ func (k *Kernel) Ioctl(path string, cmd uint32, arg uint64) errno.Errno {
 			return errno.ENOTSUP
 		}
 		return cp.RestoreState(arg)
+	case vfs.IoctlDiscard:
+		dc, ok := m.fs.(vfs.Discarder)
+		if !ok {
+			return errno.ENOTSUP
+		}
+		return dc.DiscardState(arg)
 	}
 	if io, ok := m.fs.(vfs.Ioctler); ok {
 		return io.Ioctl(r.ino, cmd, arg)

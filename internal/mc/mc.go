@@ -14,8 +14,10 @@
 //
 // On any discrepancy the engine stops and reports the precise operation
 // trail, matching the paper's reproducible bug reports; Replay re-runs a
-// trail from a fresh state to confirm it. Swarm runs several diversified
-// engines in parallel (Spin's swarm verification).
+// trail from a fresh state to confirm it. SwarmRun (swarm.go) runs
+// several diversified engines as a coordinated parallel swarm: a shared
+// cancellation token stops every worker at the first bug, and an
+// optional shared visited table prunes states peers already expanded.
 package mc
 
 import (
@@ -73,6 +75,18 @@ type Config struct {
 	// All instrumentation is nil-safe: a nil Obs costs one branch per
 	// operation and nothing else.
 	Obs *obs.Hub
+	// Cancel, when set, is polled between operations: once the token
+	// fires (a swarm peer found a bug or failed, or the caller aborted)
+	// the engine stops promptly and returns a partial Result with
+	// Canceled set. The engine fires the token itself when it finds a
+	// bug, so coordinated peers stop without waiting for Run to return.
+	Cancel *Cancel
+	// SharedVisited, when set, replaces the engine-local visited table
+	// with a table shared across swarm workers: states any worker has
+	// expanded are pruned swarm-wide, and UniqueStates counts only the
+	// states this worker was the first to discover. Result.Resume is nil
+	// in this mode — export the shared table instead (SwarmRun does).
+	SharedVisited *SharedVisited
 }
 
 // BugReport is a discrepancy plus the trail that produced it.
@@ -112,6 +126,10 @@ type Result struct {
 	Rate float64
 	// Err reports an engine failure (tracker errors etc.), not a bug.
 	Err error
+	// Canceled reports that the run was stopped early by its
+	// cancellation token (Config.Cancel) rather than by its own budget,
+	// bug, or exhaustion. The counters describe the partial run.
+	Canceled bool
 	// Coverage reports how often each operation kind executed and which
 	// errnos it produced — the operation-level answer to the paper's §7
 	// "track code coverage while model-checking".
@@ -194,6 +212,15 @@ type ResumeState struct {
 	Depths []int
 }
 
+// UniqueStates reports how many states the resume set carries. Safe on a
+// nil receiver (an empty set).
+func (r *ResumeState) UniqueStates() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(len(r.States))
+}
+
 type engine struct {
 	cfg Config
 	ops []workload.Op
@@ -212,6 +239,7 @@ type engine struct {
 	bug       *BugReport
 	coverage  Coverage
 	exhausted bool // op/state budget hit
+	canceled  bool // cancellation token fired
 	rng       uint64
 
 	eobs *engineObs // nil when Config.Obs is unset
@@ -287,7 +315,11 @@ func Run(cfg Config) Result {
 			depth:  cfg.Obs.Gauge(obs.MetricDepth),
 		}
 	}
-	if cfg.Resume != nil {
+	if cfg.SharedVisited != nil {
+		// Shared-table mode: resumed knowledge seeds the swarm-wide
+		// table (idempotent — peers may seed the same states).
+		cfg.SharedVisited.Seed(cfg.Resume)
+	} else if cfg.Resume != nil {
 		for i, st := range cfg.Resume.States {
 			depth := 0
 			if i < len(cfg.Resume.Depths) {
@@ -303,18 +335,30 @@ func Run(cfg Config) Result {
 			return res
 		}
 	}
-	// Hash and record the initial state.
+	// Hash and record the initial state. A resumed run (or a swarm peer
+	// racing us to the shared table) may already know it: count it as a
+	// unique discovery — and charge its visit cost — only when it is
+	// genuinely new.
 	h, er := cfg.Checker.StateHash()
 	if er != errno.OK {
 		res.Err = fmt.Errorf("mc: hashing initial state: %w", er)
 		return res
 	}
-	e.visited[h] = 0
-	e.unique++
-	if e.eobs != nil {
-		e.eobs.misses.Inc()
+	novel := true
+	if cfg.SharedVisited != nil {
+		novel, _ = cfg.SharedVisited.Visit(h, 0)
+	} else {
+		_, seen := e.visited[h]
+		novel = !seen
+		e.visited[h] = 0
 	}
-	e.visitCost()
+	if novel {
+		e.unique++
+		if e.eobs != nil {
+			e.eobs.misses.Inc()
+		}
+		e.visitCost()
+	}
 
 	err := e.dfs(0)
 
@@ -323,17 +367,20 @@ func Run(cfg Config) Result {
 	res.Revisits = e.revisits
 	res.Bug = e.bug
 	res.Err = err
+	res.Canceled = e.canceled
 	res.finalize(clock.Now() - start)
 	res.Coverage = e.coverage
-	resume := &ResumeState{
-		States: make([]abstraction.State, 0, len(e.visited)),
-		Depths: make([]int, 0, len(e.visited)),
+	if cfg.SharedVisited == nil {
+		resume := &ResumeState{
+			States: make([]abstraction.State, 0, len(e.visited)),
+			Depths: make([]int, 0, len(e.visited)),
+		}
+		for st, depth := range e.visited {
+			resume.States = append(resume.States, st)
+			resume.Depths = append(resume.Depths, depth)
+		}
+		res.Resume = resume
 	}
-	for st, depth := range e.visited {
-		resume.States = append(resume.States, st)
-		resume.Depths = append(resume.Depths, depth)
-	}
-	res.Resume = resume
 	return res
 }
 
@@ -373,6 +420,10 @@ func (e *engine) shuffled(depth int) []int {
 
 func (e *engine) budgetLeft() bool {
 	if e.bug != nil {
+		return false
+	}
+	if e.cfg.Cancel.Canceled() {
+		e.canceled = true
 		return false
 	}
 	if e.cfg.MaxOps > 0 && e.executed >= e.cfg.MaxOps {
@@ -423,6 +474,16 @@ func (e *engine) visitCost() {
 	}
 }
 
+// discardCheckpoints releases the checkpoint images held under key by
+// the given trackers. Error paths must call it: an abandoned key's
+// images are never restored (restore consumes them), so without an
+// explicit discard they stay in the snapshot pools forever.
+func (e *engine) discardCheckpoints(key uint64, trackers []tracker.Tracker) {
+	for _, t := range trackers {
+		t.Discard(key)
+	}
+}
+
 // dfs explores all operation choices from the current concrete state.
 func (e *engine) dfs(depth int) error {
 	if depth >= e.cfg.MaxDepth {
@@ -440,18 +501,24 @@ func (e *engine) dfs(depth int) error {
 		sp := e.beginOp(op, depth)
 
 		// Save the current state of every target so we can backtrack.
+		// On a partial failure the trackers that did checkpoint hold
+		// images under key that no restore will ever consume — release
+		// them before bailing out.
 		key := e.nextKey
 		e.nextKey++
 		var err error
-		for _, t := range e.cfg.Trackers {
+		for i, t := range e.cfg.Trackers {
 			if err = t.Checkpoint(key); err != nil {
+				e.discardCheckpoints(key, e.cfg.Trackers[:i])
 				err = fmt.Errorf("mc: checkpoint %s: %w", t.Name(), err)
 				break
 			}
 		}
 		if err == nil {
 			e.storeStateCost()
-			err = e.step(op)
+			if err = e.step(op); err != nil {
+				e.discardCheckpoints(key, e.cfg.Trackers)
+			}
 		}
 		e.endOp(sp)
 		if err != nil {
@@ -464,29 +531,43 @@ func (e *engine) dfs(depth int) error {
 		if e.bug == nil {
 			h, er := e.cfg.Checker.StateHash()
 			if er != errno.OK {
+				e.discardCheckpoints(key, e.cfg.Trackers)
 				return fmt.Errorf("mc: hashing state: %w", er)
 			}
 			childDepth := depth + 1
-			prevDepth, seen := e.visited[h]
-			if seen && prevDepth <= childDepth {
+			// Visited-state matching: prune if this state was already
+			// expanded at this depth or shallower — by this engine, or
+			// by any swarm peer when the table is shared.
+			var novel, expand bool
+			if e.cfg.SharedVisited != nil {
+				novel, expand = e.cfg.SharedVisited.Visit(h, childDepth)
+			} else {
+				prevDepth, seen := e.visited[h]
+				novel = !seen
+				expand = !seen || prevDepth > childDepth
+				if expand {
+					e.visited[h] = childDepth
+				}
+			}
+			if !expand {
 				e.revisits++
 				if e.eobs != nil {
 					e.eobs.hits.Inc()
 				}
 			} else {
-				if !seen {
+				if novel {
 					e.unique++
 					if e.eobs != nil {
 						e.eobs.misses.Inc()
 					}
 					e.visitCost()
 				}
-				e.visited[h] = childDepth
 				e.trail = append(e.trail, op)
 				if e.eobs != nil {
 					e.eobs.trailTraces = append(e.eobs.trailTraces, e.eobs.lastStep)
 				}
 				if err := e.dfs(childDepth); err != nil {
+					e.discardCheckpoints(key, e.cfg.Trackers)
 					return err
 				}
 				e.trail = e.trail[:len(e.trail)-1]
@@ -496,17 +577,20 @@ func (e *engine) dfs(depth int) error {
 			}
 		}
 
-		// Backtrack: restore every target to the saved state.
+		// Backtrack: restore every target to the saved state. Restore
+		// consumes the image; on failure, discard what the remaining
+		// trackers (and the failed one, best-effort) still hold.
 		e.fetchStateCost()
-		for _, t := range e.cfg.Trackers {
+		for i, t := range e.cfg.Trackers {
 			if err := t.Restore(key); err != nil {
+				e.discardCheckpoints(key, e.cfg.Trackers[i:])
 				return fmt.Errorf("mc: restore %s: %w", t.Name(), err)
 			}
 		}
 		if e.cfg.Mem != nil {
 			e.cfg.Mem.Release(e.stateBytes())
 		}
-		if e.bug != nil || e.exhausted {
+		if e.bug != nil || e.exhausted || e.canceled {
 			return nil
 		}
 	}
@@ -577,6 +661,9 @@ func (e *engine) report(d *checker.Discrepancy, op workload.Op) {
 	copy(trail, e.trail)
 	trail = append(trail, op)
 	e.bug = &BugReport{Discrepancy: d, Trail: trail, OpsExecuted: e.executed}
+	// Fire the shared token right away so coordinated swarm peers stop
+	// within one operation instead of waiting for this run to unwind.
+	e.cfg.Cancel.Cancel("bug found")
 }
 
 // Replay executes a recorded trail from the targets' current (fresh)
@@ -603,31 +690,3 @@ func Replay(cfg Config, trail []workload.Op) (*checker.Discrepancy, error) {
 	return nil, nil
 }
 
-// Swarm runs n diversified engines concurrently — Spin's swarm
-// verification (§2, §7). The factory must build a fully independent
-// Config (own kernel, file systems, checker, trackers) for each worker
-// seed; workers share nothing but the result channel.
-func Swarm(n int, factory func(seed int64) (Config, error)) ([]Result, error) {
-	results := make([]Result, n)
-	errs := make(chan error, n)
-	done := make(chan int, n)
-	for w := 0; w < n; w++ {
-		go func(w int) {
-			cfg, err := factory(int64(w + 1))
-			if err != nil {
-				errs <- fmt.Errorf("mc: swarm worker %d: %w", w, err)
-				return
-			}
-			results[w] = Run(cfg)
-			done <- w
-		}(w)
-	}
-	for i := 0; i < n; i++ {
-		select {
-		case err := <-errs:
-			return nil, err
-		case <-done:
-		}
-	}
-	return results, nil
-}

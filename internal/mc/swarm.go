@@ -1,0 +1,435 @@
+// Swarm coordination: Spin's swarm verification (§2, §7) rebuilt as a
+// coordinated parallel subsystem instead of fire-and-forget goroutines.
+//
+// Three pieces make the swarm cooperative:
+//
+//   - Cancel, a context-style cancellation token polled by every engine
+//     between operations, so all workers stop promptly when any worker
+//     finds a bug, fails, or the caller aborts.
+//   - SharedVisited, a sharded visited-state table with striped mutexes
+//     keyed on abstract state hashes. Workers that share one prune
+//     subtrees their peers already expanded instead of re-exploring the
+//     overlap — the coordination discipline pFSCK applies to parallel
+//     file-system checking.
+//   - A bounded worker pool: Parallelism caps how many of the n seeded
+//     workers run concurrently, so a swarm can be wider than the core
+//     count without oversubscribing the machine.
+//
+// SwarmRun merges the per-worker Results into one SwarmResult: summed
+// counters, merged Coverage, merged ResumeState, first-bug-wins
+// BugReport, and per-worker observability hubs merged via obs.Merge.
+package mc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcfs/internal/abstraction"
+	"mcfs/internal/obs"
+)
+
+// Cancel is a lightweight cancellation token shared by swarm workers.
+// Engines poll it between operations (one atomic load per op), so
+// cancellation latency is one operation, not one run. The zero value is
+// ready to use; a nil *Cancel is valid and never canceled.
+type Cancel struct {
+	fired  atomic.Bool
+	mu     sync.Mutex
+	reason string
+}
+
+// NewCancel returns a fresh, uncanceled token.
+func NewCancel() *Cancel { return &Cancel{} }
+
+// Cancel fires the token. The first caller's reason is kept; later
+// calls are no-ops.
+func (c *Cancel) Cancel(reason string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if !c.fired.Load() {
+		c.reason = reason
+		c.fired.Store(true)
+	}
+	c.mu.Unlock()
+}
+
+// Canceled reports whether the token has fired. Safe on a nil receiver.
+func (c *Cancel) Canceled() bool { return c != nil && c.fired.Load() }
+
+// Reason returns the first cancellation reason ("" if not canceled).
+func (c *Cancel) Reason() string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reason
+}
+
+// visitedShards is the stripe count of a SharedVisited table. Abstract
+// states are MD5 hashes, so the first byte spreads uniformly; 64 stripes
+// keep lock contention negligible next to the cost of one explored
+// operation (checkpoints + syscalls + checks).
+const visitedShards = 64
+
+type visitedShard struct {
+	mu sync.Mutex
+	m  map[abstraction.State]int // state -> shallowest depth expanded at
+}
+
+// SharedVisited is a visited-state table shared by swarm workers: a
+// sharded map with striped mutexes, keyed on abstract state hashes and
+// storing the shallowest depth each state has been expanded at (the same
+// depth-bounded re-expansion rule as the engine-local table).
+type SharedVisited struct {
+	shards [visitedShards]visitedShard
+	novel  atomic.Int64 // states discovered by workers (excludes seeds)
+}
+
+// NewSharedVisited returns an empty shared table.
+func NewSharedVisited() *SharedVisited {
+	v := &SharedVisited{}
+	for i := range v.shards {
+		v.shards[i].m = make(map[abstraction.State]int)
+	}
+	return v
+}
+
+func (v *SharedVisited) shard(st abstraction.State) *visitedShard {
+	return &v.shards[int(st[0])&(visitedShards-1)]
+}
+
+// Visit records that a worker reached st at depth and decides what the
+// worker should do: expand reports whether to descend (the state is new,
+// or previously expanded only at strictly deeper depths — bounded DFS
+// must re-expand those or successors within the remaining budget are
+// missed), and novel reports whether no worker had ever seen st (the
+// caller counts it as a unique discovery exactly once swarm-wide).
+func (v *SharedVisited) Visit(st abstraction.State, depth int) (novel, expand bool) {
+	sh := v.shard(st)
+	sh.mu.Lock()
+	prev, seen := sh.m[st]
+	switch {
+	case !seen:
+		sh.m[st] = depth
+		novel, expand = true, true
+	case prev > depth:
+		sh.m[st] = depth
+		expand = true
+	}
+	sh.mu.Unlock()
+	if novel {
+		v.novel.Add(1)
+	}
+	return novel, expand
+}
+
+// Seed preloads the table from an earlier run's ResumeState. Seeded
+// states are prior knowledge, not discoveries: they are pruned like any
+// visited state but never counted in NovelCount. Seeding the same state
+// twice keeps the shallowest depth.
+func (v *SharedVisited) Seed(r *ResumeState) {
+	if r == nil {
+		return
+	}
+	for i, st := range r.States {
+		depth := 0
+		if i < len(r.Depths) {
+			depth = r.Depths[i]
+		}
+		sh := v.shard(st)
+		sh.mu.Lock()
+		if prev, seen := sh.m[st]; !seen || prev > depth {
+			sh.m[st] = depth
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Len reports the number of states in the table (seeds + discoveries).
+func (v *SharedVisited) Len() int {
+	n := 0
+	for i := range v.shards {
+		sh := &v.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// NovelCount reports how many states workers discovered (excluding
+// seeded prior knowledge) — the swarm's global unique-state count.
+func (v *SharedVisited) NovelCount() int64 { return v.novel.Load() }
+
+// Export snapshots the table as a ResumeState so a later run (or swarm)
+// can continue where this one left off.
+func (v *SharedVisited) Export() *ResumeState {
+	r := &ResumeState{}
+	for i := range v.shards {
+		sh := &v.shards[i]
+		sh.mu.Lock()
+		for st, depth := range sh.m {
+			r.States = append(r.States, st)
+			r.Depths = append(r.Depths, depth)
+		}
+		sh.mu.Unlock()
+	}
+	return r
+}
+
+// SwarmOptions configures a coordinated swarm run.
+type SwarmOptions struct {
+	// Workers is the number of diversified workers (seeds 1..Workers).
+	Workers int
+	// Parallelism caps how many workers run concurrently. 0 means
+	// min(Workers, GOMAXPROCS); Workers may exceed it — excess workers
+	// queue for a slot.
+	Parallelism int
+	// ShareVisited gives all workers one SharedVisited table so they
+	// prune states their peers already expanded.
+	ShareVisited bool
+	// Resume seeds the swarm with an earlier run's visited knowledge:
+	// the shared table when ShareVisited is set, otherwise each worker's
+	// own table (unless its factory Config already carries a Resume).
+	Resume *ResumeState
+	// Cancel, when set, lets the caller abort the whole swarm; when nil
+	// the coordinator creates an internal token. Either way the token is
+	// installed into every worker Config (overriding factory-set ones).
+	Cancel *Cancel
+}
+
+// SwarmResult is the merged outcome of a coordinated swarm.
+type SwarmResult struct {
+	// Workers holds the per-worker Results in seed order. Workers
+	// canceled before they started have only Canceled set.
+	Workers []Result
+	// Ops, UniqueStates, and Revisits are summed across workers. With a
+	// shared visited table each globally-new state is counted by exactly
+	// one worker, so UniqueStates is the swarm-wide distinct count; with
+	// independent tables workers re-discover overlapping states and the
+	// sum double-counts the overlap.
+	Ops          int64
+	UniqueStates int64
+	Revisits     int64
+	// GlobalUniqueStates is the number of distinct states discovered
+	// across all workers (excluding resumed prior knowledge), and
+	// DuplicateStates = UniqueStates - GlobalUniqueStates is the wasted
+	// duplicate work a shared table eliminates.
+	GlobalUniqueStates int64
+	DuplicateStates    int64
+	// Bug is the first discrepancy any worker reported (first-bug-wins);
+	// BugWorker is its 0-based worker index, -1 when Bug is nil.
+	Bug       *BugReport
+	BugWorker int
+	// Coverage merges every worker's operation/outcome counts.
+	Coverage Coverage
+	// Resume is the swarm's merged visited knowledge (shared-table
+	// export, or the per-worker union), ready to seed a later run.
+	Resume *ResumeState
+	// Metrics merges the per-worker observability hub snapshots
+	// (obs.Merge); zero-valued when no worker Config carried a hub.
+	Metrics obs.Snapshot
+	// Elapsed is the maximum per-worker virtual time — the parallel
+	// swarm's makespan on independent virtual clocks.
+	Elapsed time.Duration
+	// Err is the first engine failure any worker hit (nil if none);
+	// ErrWorker is its 0-based index, -1 when Err is nil.
+	Err       error
+	ErrWorker int
+}
+
+// SwarmRun runs a coordinated swarm: Workers diversified engines built
+// by factory (seeds 1..Workers), at most Parallelism running at once,
+// all sharing one cancellation token — the first bug, engine failure, or
+// caller abort stops every worker promptly. The factory must build a
+// fully independent Config (own kernel, file systems, checker, trackers)
+// per seed; the coordinator installs the cancellation token and, with
+// ShareVisited, the shared visited table into each Config.
+//
+// SwarmRun returns an error only for setup failures (bad options, a
+// factory error — after draining already-started workers). Engine
+// failures land in SwarmResult.Err and the per-worker Results.
+func SwarmRun(opts SwarmOptions, factory func(seed int64) (Config, error)) (SwarmResult, error) {
+	n := opts.Workers
+	if n <= 0 {
+		return SwarmResult{BugWorker: -1, ErrWorker: -1},
+			fmt.Errorf("mc: swarm needs at least one worker, got %d", n)
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+	cancel := opts.Cancel
+	if cancel == nil {
+		cancel = NewCancel()
+	}
+	var shared *SharedVisited
+	if opts.ShareVisited {
+		shared = NewSharedVisited()
+		shared.Seed(opts.Resume)
+	}
+
+	var (
+		results    = make([]Result, n)
+		hubs       = make([]*obs.Hub, n)
+		sem        = make(chan struct{}, par)
+		wg         sync.WaitGroup
+		mu         sync.Mutex // guards the fields below
+		factoryErr error
+		bugWorker  = -1
+		runErr     error
+		errWorker  = -1
+	)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if cancel.Canceled() {
+				results[w] = Result{Canceled: true}
+				return
+			}
+			cfg, err := factory(int64(w + 1))
+			if err != nil {
+				mu.Lock()
+				if factoryErr == nil {
+					factoryErr = fmt.Errorf("mc: swarm worker %d: %w", w, err)
+				}
+				mu.Unlock()
+				cancel.Cancel(fmt.Sprintf("worker %d factory failed", w+1))
+				results[w] = Result{Canceled: true, Err: err}
+				return
+			}
+			cfg.Cancel = cancel
+			if shared != nil {
+				cfg.SharedVisited = shared
+			} else if cfg.Resume == nil {
+				cfg.Resume = opts.Resume
+			}
+			hubs[w] = cfg.Obs
+			res := Run(cfg)
+			results[w] = res
+			if res.Bug != nil {
+				mu.Lock()
+				if bugWorker == -1 {
+					bugWorker = w
+				}
+				mu.Unlock()
+				cancel.Cancel(fmt.Sprintf("worker %d found a bug", w+1))
+			}
+			if res.Err != nil {
+				mu.Lock()
+				if runErr == nil {
+					runErr, errWorker = res.Err, w
+				}
+				mu.Unlock()
+				cancel.Cancel(fmt.Sprintf("worker %d failed", w+1))
+			}
+		}(w)
+	}
+	// The error path must not abandon running workers: wait for every
+	// started goroutine (they stop promptly via the canceled token)
+	// before returning anything.
+	wg.Wait()
+
+	sr := mergeSwarm(opts, results, shared)
+	sr.BugWorker = bugWorker
+	if bugWorker >= 0 {
+		sr.Bug = results[bugWorker].Bug
+	}
+	sr.Err, sr.ErrWorker = runErr, errWorker
+	var snaps []obs.Snapshot
+	for _, h := range hubs {
+		if h != nil {
+			snaps = append(snaps, h.Snapshot())
+		}
+	}
+	if len(snaps) > 0 {
+		sr.Metrics = obs.Merge(snaps...)
+	}
+	if factoryErr != nil {
+		return sr, factoryErr
+	}
+	return sr, nil
+}
+
+// mergeSwarm folds the per-worker results into the swarm-level sums,
+// merged coverage, merged resume knowledge, and duplicate-state count.
+func mergeSwarm(opts SwarmOptions, results []Result, shared *SharedVisited) SwarmResult {
+	sr := SwarmResult{Workers: results, BugWorker: -1, ErrWorker: -1, Coverage: newCoverage()}
+	for _, r := range results {
+		sr.Ops += r.Ops
+		sr.UniqueStates += r.UniqueStates
+		sr.Revisits += r.Revisits
+		if r.Coverage.ByOp != nil {
+			sr.Coverage.Merge(r.Coverage)
+		}
+		if r.Elapsed > sr.Elapsed {
+			sr.Elapsed = r.Elapsed
+		}
+	}
+	if shared != nil {
+		sr.Resume = shared.Export()
+		sr.GlobalUniqueStates = shared.NovelCount()
+	} else {
+		seeded := make(map[abstraction.State]bool)
+		if opts.Resume != nil {
+			for _, st := range opts.Resume.States {
+				seeded[st] = true
+			}
+		}
+		union := make(map[abstraction.State]int)
+		for _, r := range results {
+			if r.Resume == nil {
+				continue
+			}
+			for i, st := range r.Resume.States {
+				depth := 0
+				if i < len(r.Resume.Depths) {
+					depth = r.Resume.Depths[i]
+				}
+				if prev, seen := union[st]; !seen || prev > depth {
+					union[st] = depth
+				}
+			}
+		}
+		merged := &ResumeState{
+			States: make([]abstraction.State, 0, len(union)),
+			Depths: make([]int, 0, len(union)),
+		}
+		for st, depth := range union {
+			merged.States = append(merged.States, st)
+			merged.Depths = append(merged.Depths, depth)
+			if !seeded[st] {
+				sr.GlobalUniqueStates++
+			}
+		}
+		sr.Resume = merged
+	}
+	sr.DuplicateStates = sr.UniqueStates - sr.GlobalUniqueStates
+	return sr
+}
+
+// Swarm runs n diversified engines concurrently and returns the raw
+// per-worker results in seed order — the original fire-and-forget swarm
+// API, now backed by the coordinated SwarmRun: the first bug or failure
+// cancels the remaining workers, and a factory error drains every
+// started worker before returning instead of leaking goroutines that
+// kept exploring (and writing results) after the function returned.
+func Swarm(n int, factory func(seed int64) (Config, error)) ([]Result, error) {
+	sr, err := SwarmRun(SwarmOptions{Workers: n}, factory)
+	if err != nil {
+		return nil, err
+	}
+	return sr.Workers, nil
+}

@@ -374,13 +374,13 @@ func (t *CheckpointTracker) Restore(key uint64) error {
 	return nil
 }
 
-// Discard implements Tracker. VeriFS discards on restore; an explicit
-// discard restores into the void by restoring and immediately
-// re-checkpointing would be wasteful, so we simply restore-and-drop via
-// the ioctl pair only when asked to restore. Discard is a no-op beyond
-// freeing our bookkeeping — the snapshot pool entry is reclaimed when the
-// file system restores or is torn down.
-func (t *CheckpointTracker) Discard(key uint64) {}
+// Discard implements Tracker via ioctl_DISCARD: the file system drops
+// the snapshot-pool entry without restoring it. Best-effort — a file
+// system predating the discard API (ENOTSUP) simply retains the image
+// until teardown, which is the old behavior.
+func (t *CheckpointTracker) Discard(key uint64) {
+	t.k.Ioctl(t.point, vfs.IoctlDiscard, key)
+}
 
 // PreOp implements Tracker: no remounts needed (§5).
 func (t *CheckpointTracker) PreOp() error { return nil }

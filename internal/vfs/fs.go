@@ -97,10 +97,22 @@ type Checkpointer interface {
 	RestoreState(key uint64) errno.Errno
 }
 
+// Discarder is the optional companion to Checkpointer: dropping a
+// snapshot that will never be restored. The explorer needs it when a
+// checkpoint succeeds on some targets but fails on another — the
+// successful images must be released or they stay in the snapshot pool
+// for the rest of the run.
+type Discarder interface {
+	// DiscardState drops the snapshot stored under key without
+	// restoring it. It returns ENOENT if no snapshot exists under key.
+	DiscardState(key uint64) errno.Errno
+}
+
 // Ioctl command numbers for the checkpoint/restore API.
 const (
 	IoctlCheckpoint uint32 = 0xC0F5_0001
 	IoctlRestore    uint32 = 0xC0F5_0002
+	IoctlDiscard    uint32 = 0xC0F5_0003
 )
 
 // Ioctler is implemented by file systems that accept ioctls directly.

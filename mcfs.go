@@ -77,7 +77,15 @@ type (
 	ResumeState = mc.ResumeState
 	// Pool is the bounded operation/parameter space.
 	Pool = workload.Pool
+	// SwarmResult is the merged outcome of a coordinated swarm run.
+	SwarmResult = mc.SwarmResult
+	// Cancel is the cancellation token swarm workers share; callers can
+	// pass their own (SwarmOptions.Cancel) to abort a running swarm.
+	Cancel = mc.Cancel
 )
+
+// NewCancel returns a fresh cancellation token for aborting a swarm.
+func NewCancel() *Cancel { return mc.NewCancel() }
 
 // Operation kinds, re-exported for building custom pools.
 const (
@@ -478,11 +486,31 @@ func (s *Session) Close() {
 // the paper's evaluation VM (64 GB RAM, 128 GB swap on SSD).
 func DefaultMemoryConfig() memmodel.Config { return memmodel.DefaultConfig() }
 
-// Swarm runs n diversified exploration sessions in parallel (Spin's
-// swarm verification, §2). The factory returns the Options for each
-// worker seed; every worker gets fully independent file system instances
-// and its own virtual clock. Results arrive in worker order.
-func Swarm(n int, factory func(seed int64) (Options, error)) ([]Result, error) {
+// SwarmOptions configures a coordinated swarm of exploration sessions.
+type SwarmOptions struct {
+	// Workers is the number of diversified workers (seeds 1..Workers).
+	Workers int
+	// Parallelism caps concurrently running workers (0 = min(Workers,
+	// GOMAXPROCS)); Workers may exceed it — excess workers queue.
+	Parallelism int
+	// ShareVisited gives every worker one shared visited-state table,
+	// pruning states a peer already expanded instead of re-exploring
+	// the overlap.
+	ShareVisited bool
+	// Resume seeds the swarm with an earlier run's visited knowledge.
+	Resume *ResumeState
+	// Cancel lets the caller abort the swarm; nil means an internal
+	// token (still fired by the first bug or failure).
+	Cancel *Cancel
+}
+
+// SwarmRun runs a coordinated swarm (Spin's swarm verification, §2,
+// with pFSCK-style coordination): Workers diversified sessions built by
+// factory, a shared cancellation token stopping every worker at the
+// first bug or failure, and optionally one shared visited table. The
+// factory returns the Options for each worker seed; every worker gets
+// fully independent file system instances and its own virtual clock.
+func SwarmRun(swarm SwarmOptions, factory func(seed int64) (Options, error)) (SwarmResult, error) {
 	var mu sync.Mutex
 	var sessions []*Session
 	defer func() {
@@ -492,7 +520,13 @@ func Swarm(n int, factory func(seed int64) (Options, error)) ([]Result, error) {
 			s.Close()
 		}
 	}()
-	results, err := mc.Swarm(n, func(seed int64) (mc.Config, error) {
+	return mc.SwarmRun(mc.SwarmOptions{
+		Workers:      swarm.Workers,
+		Parallelism:  swarm.Parallelism,
+		ShareVisited: swarm.ShareVisited,
+		Resume:       swarm.Resume,
+		Cancel:       swarm.Cancel,
+	}, func(seed int64) (mc.Config, error) {
 		opts, err := factory(seed)
 		if err != nil {
 			return mc.Config{}, err
@@ -507,10 +541,19 @@ func Swarm(n int, factory func(seed int64) (Options, error)) ([]Result, error) {
 		mu.Unlock()
 		return s.cfg, nil
 	})
+}
+
+// Swarm runs n diversified exploration sessions in parallel and returns
+// the per-worker results in worker order — the original swarm API, now
+// backed by the coordinated SwarmRun (first bug cancels the remaining
+// workers; factory errors drain started workers instead of leaking
+// them).
+func Swarm(n int, factory func(seed int64) (Options, error)) ([]Result, error) {
+	sr, err := SwarmRun(SwarmOptions{Workers: n}, factory)
 	if err != nil {
 		return nil, err
 	}
-	return results, nil
+	return sr.Workers, nil
 }
 
 // Verify re-checks that all targets currently agree, returning the

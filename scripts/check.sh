@@ -1,0 +1,36 @@
+#!/bin/sh
+# check.sh — the repo's verification gate, runnable locally or in CI.
+#
+# Encodes ROADMAP.md's tier-1 verify plus the observability gate:
+#   1. go build ./...                               (everything compiles)
+#   2. go test ./...                                (tier-1 test suite)
+#   3. go vet ./...                                 (static checks)
+#   4. go test -race internal/mc + internal/obs     (swarm + hub under
+#                                                    the race detector)
+#   5. bench smoke: every benchmark runs once       (catches bit-rotted
+#                                                    benchmarks; includes
+#                                                    the nil-obs and
+#                                                    swarm shared-vs-
+#                                                    independent pairs)
+#
+# Usage: scripts/check.sh   (from the repo root or anywhere inside it)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./internal/mc/... ./internal/obs/..."
+go test -race ./internal/mc/... ./internal/obs/...
+
+echo "==> bench smoke (one iteration per benchmark)"
+go test -bench . -benchtime 1x -run '^$' ./internal/mc/...
+
+echo "OK: all checks passed"
