@@ -5,6 +5,7 @@
 //
 //	longrun [-days N] [-samples-per-day N] [-calibration-workers N]
 //	        [-share-visited] [-progress] [-metrics-addr :8080]
+//	        [-journal file]
 //
 // A short real exploration calibrates the per-operation cost; with
 // -calibration-workers > 1 the calibration runs as a coordinated swarm
@@ -14,7 +15,8 @@
 // the hash-table resize crash, swap spill, and the late RAM-hit-rate
 // rebound). With -progress every simulated point streams to stderr as it
 // is computed; -metrics-addr serves the calibration run's metrics plus
-// the live figure3.* gauges as JSON.
+// the live figure3.* gauges as JSON; -journal flight-records the
+// calibration exploration to a replayable JSONL file.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 	"mcfs"
 	"mcfs/internal/obs"
+	"mcfs/internal/obs/journal"
 )
 
 func main() {
@@ -33,12 +36,22 @@ func main() {
 	shareVisited := flag.Bool("share-visited", false, "calibration swarm workers share one visited-state table")
 	progress := flag.Bool("progress", false, "stream every simulated point to stderr as it is computed")
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics at this address (/metrics); \":0\" picks a port")
+	journalPath := flag.String("journal", "", "flight-record the calibration exploration to this JSONL file")
 	flag.Parse()
 
 	cfg := mcfs.Figure3Config{
 		Days:               *days,
 		CalibrationWorkers: *calWorkers,
 		ShareVisited:       *shareVisited,
+	}
+	if *journalPath != "" {
+		jw, err := journal.Create(*journalPath, journal.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "longrun: %v\n", err)
+			os.Exit(1)
+		}
+		defer jw.Close()
+		cfg.Journal = jw
 	}
 	if *progress {
 		cfg.Progress = func(p mcfs.Figure3Point) {

@@ -7,7 +7,10 @@
 //	mcfs -fs ext2 -fs ext4 [-depth 3] [-max-ops 100000] [-seed 0]
 //	     [-bug name] [-backing ram|ssd|hdd] [-no-remount]
 //	     [-swarm N] [-share-visited] [-parallelism P]
-//	     [-progress 1s] [-metrics-addr :8080] [-trace-dump] [-coverage]
+//	     [-progress 1s] [-stall-ops N] [-metrics-addr :8080]
+//	     [-trace-dump] [-coverage] [-journal file] [-bundle dir]
+//	mcfs replay <bundle-dir>
+//	mcfs shrink <bundle-dir>
 //
 // Supported -fs kinds: ext2, ext4, xfs, jffs2, verifs1, verifs2.
 // Seedable -bug names (applied to the LAST -fs target):
@@ -15,11 +18,20 @@
 // size-update-on-overflow.
 //
 // Observability: -progress prints a Spin-style status line per engine at
-// the given wall-clock interval (one lane per swarm worker); -metrics-addr
-// serves the aggregated metrics as JSON at /metrics (plus net/http/pprof
-// under /debug/pprof/); -trace-dump prints the cross-layer span trace of a
-// reported bug trail; -coverage prints the per-(operation, errno) outcome
-// matrix after the run.
+// the given wall-clock interval (one lane per swarm worker, plus a merged
+// swarm line); -stall-ops warns when that many operations pass without a
+// globally-novel state; -metrics-addr serves the aggregated metrics as
+// JSON at /metrics (plus net/http/pprof under /debug/pprof/); -trace-dump
+// prints the cross-layer span trace of a reported bug trail; -coverage
+// prints the per-(operation, errno) outcome matrix after the run.
+//
+// Flight recorder: -journal records every nondeterministic engine choice
+// to a crash-safe JSONL file; -bundle dumps a bug-repro bundle directory
+// (config, bug + trail, journal, metrics, coverage) whenever the run
+// reports a discrepancy. "mcfs replay <dir>" re-executes a bundle's trail
+// (and its journal, when present) against fresh targets and exits 0 iff
+// the recorded discrepancy reproduces; "mcfs shrink <dir>" delta-debugs
+// the trail to a locally-minimal repro written back into the bundle.
 //
 // Examples:
 //
@@ -28,6 +40,8 @@
 //	mcfs -fs verifs1 -fs verifs2 -bug write-hole-no-zero -trace-dump
 //	mcfs -fs verifs1 -fs verifs2 -swarm 4 -progress 1s -metrics-addr :0
 //	mcfs -fs verifs1 -fs verifs2 -swarm 8 -share-visited -parallelism 4
+//	mcfs -fs verifs1 -fs verifs2 -bug write-hole-no-zero -bundle ./bug1
+//	mcfs replay ./bug1 && mcfs shrink ./bug1
 //
 // Swarm mode is coordinated: the first worker to find a bug (or fail)
 // cancels the rest, -share-visited makes workers prune states their
@@ -39,11 +53,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"mcfs"
 	"mcfs/internal/obs"
+	"mcfs/internal/obs/journal"
 )
 
 type stringList []string
@@ -55,6 +71,21 @@ func (s *stringList) Set(v string) error {
 }
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "replay":
+			os.Exit(runReplay(os.Args[2:]))
+		case "shrink":
+			os.Exit(runShrink(os.Args[2:]))
+		}
+	}
+	os.Exit(run())
+}
+
+// run is the default (checking) mode; its return value is the process
+// exit code, so deferred cleanup (journal close, temp files, metrics
+// server) still executes.
+func run() int {
 	var fsKinds, bugs stringList
 	flag.Var(&fsKinds, "fs", "file system under test (repeat; at least two)")
 	flag.Var(&bugs, "bug", "seed a named bug into the last -fs target (repeatable)")
@@ -69,20 +100,47 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "max swarm workers running at once (0 = min(N, GOMAXPROCS))")
 	majority := flag.Bool("majority", false, "with 3+ targets, identify the deviating minority (majority voting)")
 	progress := flag.Duration("progress", 0, "print a status line per engine at this wall-clock interval (0 = off)")
+	stallOps := flag.Int64("stall-ops", 0, "warn when this many ops pass without a novel state (needs -progress)")
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics at this address (/metrics, /debug/pprof/); \":0\" picks a port")
 	traceDump := flag.Bool("trace-dump", false, "dump the cross-layer span trace of a reported bug trail")
 	coverage := flag.Bool("coverage", false, "print the per-(operation, errno) outcome matrix")
+	journalPath := flag.String("journal", "", "record the flight-recorder journal to this JSONL file")
+	bundleDir := flag.String("bundle", "", "write a bug-repro bundle to this directory when a discrepancy is found")
 	flag.Parse()
 
 	if len(fsKinds) < 2 {
 		fmt.Fprintln(os.Stderr, "mcfs: need at least two -fs targets")
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	// Observability stays fully off (nil hub, zero overhead) unless a
 	// flag needs it.
-	obsOn := *progress > 0 || *metricsAddr != "" || *traceDump
+	obsOn := *progress > 0 || *metricsAddr != "" || *traceDump || *bundleDir != ""
+
+	// The flight recorder journals to -journal; a -bundle without an
+	// explicit journal records to a scratch file so the bundle still
+	// ships one.
+	jpath := *journalPath
+	if jpath == "" && *bundleDir != "" {
+		f, err := os.CreateTemp("", "mcfs-journal-*.jsonl")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
+			return 1
+		}
+		f.Close()
+		jpath = f.Name()
+		defer os.Remove(jpath)
+	}
+	var jw *journal.Writer
+	if jpath != "" {
+		var err error
+		if jw, err = journal.Create(jpath, journal.Options{}); err != nil {
+			fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
+			return 1
+		}
+		defer jw.Close()
+	}
 
 	buildOptions := func(hub *obs.Hub) mcfs.Options {
 		targets := make([]mcfs.TargetSpec, len(fsKinds))
@@ -136,21 +194,53 @@ func main() {
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr)
 	}
 
 	reporter := obs.NewReporter(os.Stderr, *progress, lanes)
+	if *swarm > 0 {
+		reporter.SetAggregate("swarm")
+	}
+	reporter.SetStallThreshold(*stallOps)
 	reporter.Start()
 	defer reporter.Stop()
+
+	// metricsSnap merges every engine's instruments for the bundle.
+	metricsSnap := func() *obs.Snapshot {
+		if !obsOn {
+			return nil
+		}
+		snaps := make([]obs.Snapshot, len(hubs))
+		for i, h := range hubs {
+			snaps[i] = h.Snapshot()
+		}
+		merged := obs.Merge(snaps...)
+		return &merged
+	}
+
+	// writeBundle closes the journal (flushing it) and dumps the
+	// bug-repro bundle for res, whose run used opts.
+	writeBundle := func(opts mcfs.Options, res mcfs.Result) {
+		if err := jw.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "mcfs: journal: %v\n", err)
+		}
+		opts.Obs, opts.Journal = nil, nil
+		if err := mcfs.WriteBundle(*bundleDir, opts, res, jpath, metricsSnap()); err != nil {
+			fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "bug-repro bundle written to %s\n", *bundleDir)
+	}
 
 	if *swarm > 0 {
 		sr, err := mcfs.SwarmRun(mcfs.SwarmOptions{
 			Workers:      *swarm,
 			Parallelism:  *parallelism,
 			ShareVisited: *shareVisited,
+			Journal:      jw,
 		}, func(seed int64) (mcfs.Options, error) {
 			var hub *obs.Hub
 			if obsOn {
@@ -161,7 +251,7 @@ func main() {
 		reporter.Stop()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		for i, res := range sr.Workers {
 			fmt.Printf("--- worker %d ---\n", i+1)
@@ -187,23 +277,32 @@ func main() {
 		if *coverage {
 			printCoverage(sr.Coverage)
 		}
-		switch {
-		case sr.Bug != nil:
-			os.Exit(3)
-		case sr.Err != nil:
-			os.Exit(1)
+		if sr.Bug != nil {
+			if *bundleDir != "" {
+				// The bug worker's options (its seed included) are what a
+				// replay must rebuild; SwarmRun assigned it seed worker+1.
+				opts := buildOptions(nil)
+				opts.Seed = int64(sr.BugWorker + 1)
+				writeBundle(opts, sr.Workers[sr.BugWorker])
+			}
+			return 3
 		}
-		os.Exit(0)
+		if sr.Err != nil {
+			return 1
+		}
+		return 0
 	}
 
 	var hub *obs.Hub
 	if obsOn {
 		hub = hubs[0]
 	}
-	session, err := mcfs.NewSession(buildOptions(hub))
+	opts := buildOptions(hub)
+	opts.Journal = jw
+	session, err := mcfs.NewSession(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	defer session.Close()
 	res := session.Run()
@@ -214,11 +313,121 @@ func main() {
 		printCoverage(res.Coverage)
 	}
 	if res.Bug != nil {
-		os.Exit(3)
+		if *bundleDir != "" {
+			writeBundle(opts, res)
+		}
+		return 3
 	}
 	if res.Err != nil {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// runReplay implements "mcfs replay <bundle-dir>": re-execute the
+// bundle's recorded trail (and minimized trail, when present) against
+// fresh targets built from its config, then — when the bundle ships a
+// journal — step the full journal through the replay driver to verify
+// the run is deterministic. Exits 0 iff the recorded discrepancy
+// reproduces.
+func runReplay(args []string) int {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mcfs replay <bundle-dir>")
+		return 2
+	}
+	dir := args[0]
+	b, err := mcfs.ReadBundle(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcfs replay: %v\n", err)
+		return 1
+	}
+	fmt.Printf("bundle: %s\n", dir)
+	fmt.Printf("recorded bug: %s at op %v (trail of %d ops)\n", b.Bug.Kind, b.Bug.Op, len(b.Trail))
+
+	out, err := b.Replay()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcfs replay: %v\n", err)
+		return 1
+	}
+	if out.Reproduced {
+		fmt.Printf("trail replay: reproduced (%v)\n", out.Discrepancy)
+	} else if out.Discrepancy != nil {
+		fmt.Printf("trail replay: DIFFERENT discrepancy (%v)\n", out.Discrepancy)
+	} else {
+		fmt.Println("trail replay: did NOT reproduce")
+	}
+	if out.MinReproduced != nil {
+		if *out.MinReproduced {
+			fmt.Printf("minimized trail (%d ops): reproduced\n", len(b.MinTrail))
+		} else {
+			fmt.Printf("minimized trail (%d ops): did NOT reproduce\n", len(b.MinTrail))
+		}
+	}
+
+	recs, err := b.JournalRecords()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcfs replay: journal: %v\n", err)
+		return 1
+	}
+	if len(recs) > 0 {
+		s, err := mcfs.NewSession(b.Config.Options())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcfs replay: %v\n", err)
+			return 1
+		}
+		rep, err := s.ReplayJournal(recs)
+		s.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcfs replay: journal: %v\n", err)
+			return 1
+		}
+		switch {
+		case rep.Diverged:
+			fmt.Printf("journal replay (worker %d): DIVERGED at step %d: %s\n",
+				rep.Worker, rep.DivergedAt, rep.Reason)
+		case rep.BugReproduced:
+			fmt.Printf("journal replay (worker %d): deterministic, %d steps, bug reproduced\n",
+				rep.Worker, rep.Steps)
+		default:
+			fmt.Printf("journal replay (worker %d): deterministic, %d steps\n", rep.Worker, rep.Steps)
+		}
+		if rep.Diverged {
+			return 1
+		}
+	}
+
+	if !out.Reproduced {
+		return 1
+	}
+	return 0
+}
+
+// runShrink implements "mcfs shrink <bundle-dir>": delta-debug the
+// bundle's trail down to a locally-minimal reproducing sequence and
+// write it back into the bundle as trail.min.json.
+func runShrink(args []string) int {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mcfs shrink <bundle-dir>")
+		return 2
+	}
+	dir := args[0]
+	min, stats, err := mcfs.ShrinkBundle(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcfs shrink: %v\n", err)
+		return 1
+	}
+	fmt.Printf("shrunk trail: %d -> %d ops in %d replays\n", stats.From, stats.To, stats.Replays)
+	if stats.From == stats.To {
+		fmt.Println("trail was already minimal")
+	}
+	if !stats.Minimal {
+		fmt.Println("note: replay budget hit; result may not be 1-minimal")
+	}
+	for i, op := range min {
+		fmt.Printf("%3d. %s\n", i+1, op)
+	}
+	fmt.Printf("written to %s\n", filepath.Join(dir, mcfs.BundleMinTrailFile))
+	return 0
 }
 
 func printResult(res mcfs.Result, traceDump bool) {

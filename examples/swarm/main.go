@@ -15,6 +15,11 @@
 //   - A merged result: summed operations, globally-distinct state
 //     counts, merged coverage, and the first bug with its trail.
 //
+// The run is watched by a swarm-aware progress reporter: one lane per
+// worker plus a merged "swarm" line summing every worker's counters,
+// with stall detection armed to warn if the whole swarm stops finding
+// globally-novel states.
+//
 // Run with:
 //
 //	go run ./examples/swarm
@@ -23,12 +28,26 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"mcfs"
+	"mcfs/internal/obs"
 )
 
 func main() {
 	const workers = 6
+
+	// One instrument hub per worker: each becomes a progress lane.
+	hubs := make([]*obs.Hub, workers)
+	lanes := make([]obs.Lane, workers)
+	for i := range hubs {
+		hubs[i] = obs.New(obs.Options{})
+		lanes[i] = obs.Lane{Name: fmt.Sprintf("w%d", i+1), Hub: hubs[i]}
+	}
+	reporter := obs.NewReporter(os.Stderr, 0, lanes)
+	reporter.SetAggregate("swarm")
+	reporter.SetStallThreshold(10000)
+
 	factory := func(seed int64) (mcfs.Options, error) {
 		return mcfs.Options{
 			Targets: []mcfs.TargetSpec{
@@ -37,6 +56,7 @@ func main() {
 			},
 			MaxDepth: 3,
 			MaxOps:   1500, // deliberately small per-worker budget
+			Obs:      hubs[seed-1],
 		}, nil
 	}
 
@@ -47,6 +67,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// The run is short, so emit the progress snapshot once at the end:
+	// six per-worker lines plus the merged swarm line (a live run would
+	// call reporter.Start() with a wall-clock interval instead).
+	reporter.Emit()
 	if sr.Err != nil {
 		log.Fatalf("worker %d: %v", sr.ErrWorker+1, sr.Err)
 	}

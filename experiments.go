@@ -8,6 +8,7 @@ import (
 	"mcfs/internal/mc"
 	"mcfs/internal/memmodel"
 	"mcfs/internal/obs"
+	"mcfs/internal/obs/journal"
 )
 
 // This file regenerates the paper's evaluation (§6): Figure 2's
@@ -230,13 +231,17 @@ type Figure3Config struct {
 	// ShareVisited makes the calibration swarm share one visited table
 	// (workers skip states their peers already expanded).
 	ShareVisited bool
+	// Journal, when non-nil, flight-records the calibration exploration
+	// (every worker, in swarm mode) so even the long-run pipeline leaves
+	// a replayable artifact.
+	Journal *journal.Writer
 }
 
 // measureVeriFS1 runs a short real exploration to extract the base
 // per-operation cost and concrete-state size for Figure 3. With
 // workers > 1 the measurement is a coordinated swarm and the per-op
 // cost averages over every worker's (virtual) exploration time.
-func measureVeriFS1(hub *obs.Hub, workers int, share bool) (time.Duration, int64, error) {
+func measureVeriFS1(hub *obs.Hub, jw *journal.Writer, workers int, share bool) (time.Duration, int64, error) {
 	calOptions := func(seed int64) Options {
 		return Options{
 			Targets:  []TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
@@ -248,6 +253,7 @@ func measureVeriFS1(hub *obs.Hub, workers int, share bool) (time.Duration, int64
 	if workers <= 1 {
 		o := calOptions(0)
 		o.Obs = hub
+		o.Journal = jw
 		s, err := NewSession(o)
 		if err != nil {
 			return 0, 0, err
@@ -272,7 +278,7 @@ func measureVeriFS1(hub *obs.Hub, workers int, share bool) (time.Duration, int64
 			s.Close()
 		}
 	}()
-	sr, err := mc.SwarmRun(mc.SwarmOptions{Workers: workers, ShareVisited: share},
+	sr, err := mc.SwarmRun(mc.SwarmOptions{Workers: workers, ShareVisited: share, Journal: jw},
 		func(seed int64) (mc.Config, error) {
 			o := calOptions(seed)
 			if seed == 1 {
@@ -332,7 +338,7 @@ func RunFigure3(cfg Figure3Config) ([]Figure3Point, error) {
 		cfg.Days = 14
 	}
 	if cfg.BasePerOp == 0 || cfg.StateBytes == 0 {
-		perOp, stateBytes, err := measureVeriFS1(cfg.Obs, cfg.CalibrationWorkers, cfg.ShareVisited)
+		perOp, stateBytes, err := measureVeriFS1(cfg.Obs, cfg.Journal, cfg.CalibrationWorkers, cfg.ShareVisited)
 		if err != nil {
 			return nil, err
 		}

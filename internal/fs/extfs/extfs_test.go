@@ -367,17 +367,28 @@ func TestJournalReplayAfterCrash(t *testing.T) {
 		data []byte
 	}
 	var writes []bw
+	// Group dirty inodes by table block exactly like Sync does: logging
+	// one journal copy per dirty inode would journal conflicting
+	// versions of a shared block, and replay order (map iteration here)
+	// would decide which one survives.
+	blockBufs := make(map[uint32][]byte)
 	for ino, ci := range f.inodeCache {
 		if !ci.dirty {
 			continue
 		}
 		blk := f.layout.inodeTable + (ino-1)/InodesPerBlock
-		buf, err := f.readBlock(blk)
-		if err != nil {
-			t.Fatal(err)
+		buf, ok := blockBufs[blk]
+		if !ok {
+			var err error
+			if buf, err = f.readBlock(blk); err != nil {
+				t.Fatal(err)
+			}
+			blockBufs[blk] = buf
 		}
 		off := ((ino - 1) % InodesPerBlock) * InodeSize
 		ci.encode(buf[off : off+InodeSize])
+	}
+	for blk, buf := range blockBufs {
 		writes = append(writes, bw{blk, buf})
 	}
 	bm := make([]byte, BlockSize)

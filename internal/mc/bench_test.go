@@ -1,10 +1,12 @@
 package mc_test
 
 import (
+	"io"
 	"testing"
 
 	"mcfs"
 	"mcfs/internal/obs"
+	"mcfs/internal/obs/journal"
 )
 
 // benchExplore runs one bounded exploration per iteration. Comparing the
@@ -40,4 +42,32 @@ func BenchmarkExploreNilObs(b *testing.B) {
 
 func BenchmarkExploreWithObs(b *testing.B) {
 	benchExplore(b, func() *obs.Hub { return obs.New(obs.Options{}) })
+}
+
+// BenchmarkExploreWithJournal measures the flight recorder's hot-path
+// cost with the output discarded, isolating encode+buffer overhead from
+// disk speed. Compare against BenchmarkExploreNilObs.
+func BenchmarkExploreWithJournal(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		jw := journal.NewWriter(io.Discard, journal.Options{})
+		s, err := mcfs.NewSession(mcfs.Options{
+			Targets:  []mcfs.TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
+			MaxDepth: 2,
+			MaxOps:   300,
+			Journal:  jw,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := s.Run()
+		s.Close()
+		jw.Close()
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if res.Bug != nil {
+			b.Fatalf("unexpected bug: %v", res.Bug)
+		}
+	}
 }

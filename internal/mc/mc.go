@@ -28,6 +28,7 @@ import (
 	"mcfs/internal/kernel"
 	"mcfs/internal/memmodel"
 	"mcfs/internal/obs"
+	"mcfs/internal/obs/journal"
 	"mcfs/internal/simclock"
 	"mcfs/internal/tracker"
 	"mcfs/internal/workload"
@@ -87,6 +88,12 @@ type Config struct {
 	// states this worker was the first to discover. Result.Resume is nil
 	// in this mode — export the shared table instead (SwarmRun does).
 	SharedVisited *SharedVisited
+	// Journal, when set, is the flight recorder: every operation the
+	// engine explores (with per-target errnos, the abstract state hash
+	// reached, and the visited-table decision), every backtrack, and any
+	// bug found are appended as journal records, replayable with
+	// ReplayJournal. Nil-safe: a nil recorder costs one branch per op.
+	Journal *journal.Recorder
 }
 
 // BugReport is a discrepancy plus the trail that produced it.
@@ -243,6 +250,10 @@ type engine struct {
 	rng       uint64
 
 	eobs *engineObs // nil when Config.Obs is unset
+
+	// lastErrnos is the per-target errno scratch of the most recent
+	// step, populated only when a journal recorder is attached.
+	lastErrnos []string
 }
 
 // engineObs holds the engine's pre-resolved observability handles, so
@@ -359,6 +370,23 @@ func Run(cfg Config) Result {
 		}
 		e.visitCost()
 	}
+	if cfg.Journal.Enabled() {
+		names := make([]string, 0, len(cfg.Checker.Targets()))
+		for _, t := range cfg.Checker.Targets() {
+			names = append(names, t.Name)
+		}
+		cfg.Journal.Meta(journal.Meta{
+			Version:   journal.Version,
+			Seed:      cfg.Seed,
+			MaxDepth:  cfg.MaxDepth,
+			MaxOps:    cfg.MaxOps,
+			MaxStates: cfg.MaxStates,
+			Targets:   names,
+			Equalize:  cfg.EqualizeFreeSpace,
+			Majority:  cfg.MajorityVote,
+			InitState: fmt.Sprintf("%x", h[:]),
+		})
+	}
 
 	err := e.dfs(0)
 
@@ -370,6 +398,18 @@ func Run(cfg Config) Result {
 	res.Canceled = e.canceled
 	res.finalize(clock.Now() - start)
 	res.Coverage = e.coverage
+	if cfg.Journal.Enabled() {
+		done := journal.DoneRecord{
+			Ops:          e.executed,
+			UniqueStates: e.unique,
+			Revisits:     e.revisits,
+			Canceled:     e.canceled,
+		}
+		if err != nil {
+			done.Err = err.Error()
+		}
+		cfg.Journal.Done(done)
+	}
 	if cfg.SharedVisited == nil {
 		resume := &ResumeState{
 			States: make([]abstraction.State, 0, len(e.visited)),
@@ -463,12 +503,17 @@ func (e *engine) fetchStateCost() {
 // visitCost charges the memory footprint of recording a newly visited
 // state: a hash-table entry plus the concrete state retained for
 // backtracking (Spin's c_track'd buffers live for the whole run, which is
-// why the paper's long runs eventually spill to swap).
+// why the paper's long runs eventually spill to swap). With a shared
+// swarm table the per-entry growth is charged by SharedVisited.Visit to
+// every attached model instead (one table in one address space), so only
+// the concrete-state retention is charged here.
 func (e *engine) visitCost() {
 	if e.cfg.Mem == nil {
 		return
 	}
-	e.cfg.Mem.InsertVisited()
+	if e.cfg.SharedVisited == nil {
+		e.cfg.Mem.InsertVisited()
+	}
 	if err := e.cfg.Mem.Store(e.stateBytes()); err != nil {
 		e.exhausted = true
 	}
@@ -526,6 +571,19 @@ func (e *engine) dfs(depth int) error {
 		}
 		if e.bug != nil {
 			e.attachTrailTrace()
+			if e.cfg.Journal.Enabled() {
+				// The bug op gets no state hash (the discrepancy halts
+				// hashing); the bug record that follows carries the
+				// trail and forces the journal to stable storage.
+				e.cfg.Journal.Op(depth, journal.EncodeOp(op), e.lastErrnos, "", false, false)
+				e.cfg.Journal.Bug(journal.BugRecord{
+					Kind:        e.bug.Discrepancy.Kind,
+					Op:          e.bug.Discrepancy.Op,
+					Details:     e.bug.Discrepancy.Details,
+					Trail:       journal.EncodeTrail(e.bug.Trail),
+					OpsExecuted: e.bug.OpsExecuted,
+				})
+			}
 		}
 
 		if e.bug == nil {
@@ -548,6 +606,10 @@ func (e *engine) dfs(depth int) error {
 				if expand {
 					e.visited[h] = childDepth
 				}
+			}
+			if e.cfg.Journal.Enabled() {
+				e.cfg.Journal.Op(depth, journal.EncodeOp(op), e.lastErrnos,
+					fmt.Sprintf("%x", h[:]), novel, expand)
 			}
 			if !expand {
 				e.revisits++
@@ -590,6 +652,7 @@ func (e *engine) dfs(depth int) error {
 		if e.cfg.Mem != nil {
 			e.cfg.Mem.Release(e.stateBytes())
 		}
+		e.cfg.Journal.Backtrack(depth)
 		if e.bug != nil || e.exhausted || e.canceled {
 			return nil
 		}
@@ -630,6 +693,14 @@ func (e *engine) step(op workload.Op) error {
 		e.coverage.ByErrno[r.Err.String()]++
 		pairs[r.Err.String()]++
 	}
+	if e.cfg.Journal.Enabled() {
+		// Scratch reuse is safe: journal records marshal synchronously
+		// inside Append, before the next step can overwrite the slice.
+		e.lastErrnos = e.lastErrnos[:0]
+		for _, r := range results {
+			e.lastErrnos = append(e.lastErrnos, r.Err.String())
+		}
+	}
 
 	var d *checker.Discrepancy
 	if e.cfg.MajorityVote {
@@ -668,13 +739,32 @@ func (e *engine) report(d *checker.Discrepancy, op workload.Op) {
 
 // Replay executes a recorded trail from the targets' current (fresh)
 // state, checking after every operation, and returns the first
-// discrepancy (nil if the trail no longer reproduces).
+// discrepancy (nil if the trail no longer reproduces). Replay mirrors
+// the engine's step environment — free-space equalization and the
+// per-operation tracker hooks (remounts for kernel file systems) run
+// exactly as they did during exploration — so a trail that exposed a
+// bug through those mechanics still does on replay.
 func Replay(cfg Config, trail []workload.Op) (*checker.Discrepancy, error) {
+	if cfg.EqualizeFreeSpace {
+		if er := cfg.Checker.EqualizeFreeSpace(); er != errno.OK {
+			return nil, fmt.Errorf("mc: replay equalizing free space: %w", er)
+		}
+	}
 	targets := cfg.Checker.Targets()
 	for _, op := range trail {
+		for _, t := range cfg.Trackers {
+			if err := t.PreOp(); err != nil {
+				return nil, fmt.Errorf("mc: replay pre-op %s: %w", t.Name(), err)
+			}
+		}
 		results := make([]checker.OpResult, len(targets))
 		for i, tgt := range targets {
 			results[i] = workload.Execute(cfg.Kernel, tgt.MountPoint, op)
+		}
+		for _, t := range cfg.Trackers {
+			if err := t.PostOp(); err != nil {
+				return nil, fmt.Errorf("mc: replay post-op %s: %w", t.Name(), err)
+			}
 		}
 		if d := cfg.Checker.CheckResults(op.String(), results); d != nil {
 			return d, nil
@@ -688,5 +778,19 @@ func Replay(cfg Config, trail []workload.Op) (*checker.Discrepancy, error) {
 		}
 	}
 	return nil, nil
+}
+
+// VerifyTrail replays trail against cfg's fresh targets and reports
+// whether it reproduces the wanted discrepancy: any discrepancy when
+// want is nil, otherwise one of the same kind. The engine's check
+// granularity guarantees reproduction is judged against the first
+// discrepancy the replay hits, exactly as the original run did.
+func VerifyTrail(cfg Config, trail []workload.Op, want *checker.Discrepancy) (*checker.Discrepancy, bool, error) {
+	got, err := Replay(cfg, trail)
+	if err != nil {
+		return nil, false, err
+	}
+	same := got != nil && (want == nil || got.Kind == want.Kind)
+	return got, same, nil
 }
 

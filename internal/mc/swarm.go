@@ -28,7 +28,9 @@ import (
 	"time"
 
 	"mcfs/internal/abstraction"
+	"mcfs/internal/memmodel"
 	"mcfs/internal/obs"
+	"mcfs/internal/obs/journal"
 )
 
 // Cancel is a lightweight cancellation token shared by swarm workers.
@@ -89,6 +91,13 @@ type visitedShard struct {
 type SharedVisited struct {
 	shards [visitedShards]visitedShard
 	novel  atomic.Int64 // states discovered by workers (excludes seeds)
+
+	// memMu guards mems; every new table entry charges
+	// memmodel.SharedVisitedEntryBytes to each attached model, so the
+	// shared table's footprint shows up in MemoryStats (the ROADMAP's
+	// visited-table accounting item).
+	memMu sync.RWMutex
+	mems  []*memmodel.Model
 }
 
 // NewSharedVisited returns an empty shared table.
@@ -125,8 +134,37 @@ func (v *SharedVisited) Visit(st abstraction.State, depth int) (novel, expand bo
 	sh.mu.Unlock()
 	if novel {
 		v.novel.Add(1)
+		v.chargeEntry()
 	}
 	return novel, expand
+}
+
+// AttachMem subscribes a memory model to the table's growth: the
+// current footprint is charged immediately and every later entry adds
+// memmodel.SharedVisitedEntryBytes. Workers sharing one table live in
+// one address space, so each worker's model carries the full table —
+// shared-table growth shrinks the RAM left for concrete states in every
+// session's MemoryStats.
+func (v *SharedVisited) AttachMem(m *memmodel.Model) {
+	if v == nil || m == nil {
+		return
+	}
+	v.memMu.Lock()
+	v.mems = append(v.mems, m)
+	v.memMu.Unlock()
+	m.AddSharedVisited(int64(v.Len()) * memmodel.SharedVisitedEntryBytes)
+}
+
+// chargeEntry bills one new table entry to every attached model. Called
+// outside the shard lock; attachment during a running swarm may count a
+// racing insert in both the Len snapshot and the per-entry charge —
+// footprint accounting tolerates that slop.
+func (v *SharedVisited) chargeEntry() {
+	v.memMu.RLock()
+	for _, m := range v.mems {
+		m.AddSharedVisited(memmodel.SharedVisitedEntryBytes)
+	}
+	v.memMu.RUnlock()
 }
 
 // Seed preloads the table from an earlier run's ResumeState. Seeded
@@ -144,10 +182,16 @@ func (v *SharedVisited) Seed(r *ResumeState) {
 		}
 		sh := v.shard(st)
 		sh.mu.Lock()
-		if prev, seen := sh.m[st]; !seen || prev > depth {
+		prev, seen := sh.m[st]
+		if !seen || prev > depth {
 			sh.m[st] = depth
 		}
 		sh.mu.Unlock()
+		if !seen {
+			// Seeds are prior knowledge, not discoveries — but they
+			// occupy table memory like any entry.
+			v.chargeEntry()
+		}
 	}
 }
 
@@ -202,6 +246,11 @@ type SwarmOptions struct {
 	// the coordinator creates an internal token. Either way the token is
 	// installed into every worker Config (overriding factory-set ones).
 	Cancel *Cancel
+	// Journal, when set, gives every worker a flight-recorder handle on
+	// this shared writer (worker ids 1..Workers), unless the factory's
+	// Config already carries one. The writer interleaves workers'
+	// records; journal.WorkerRecords de-multiplexes them.
+	Journal *journal.Writer
 }
 
 // SwarmResult is the merged outcome of a coordinated swarm.
@@ -313,8 +362,12 @@ func SwarmRun(opts SwarmOptions, factory func(seed int64) (Config, error)) (Swar
 			cfg.Cancel = cancel
 			if shared != nil {
 				cfg.SharedVisited = shared
+				shared.AttachMem(cfg.Mem)
 			} else if cfg.Resume == nil {
 				cfg.Resume = opts.Resume
+			}
+			if cfg.Journal == nil && opts.Journal != nil {
+				cfg.Journal = opts.Journal.Recorder(w + 1)
 			}
 			hubs[w] = cfg.Obs
 			res := Run(cfg)

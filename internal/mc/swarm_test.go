@@ -15,6 +15,8 @@ import (
 	"mcfs"
 	"mcfs/internal/abstraction"
 	"mcfs/internal/mc"
+	"mcfs/internal/memmodel"
+	"mcfs/internal/simclock"
 	"mcfs/internal/tracker"
 )
 
@@ -484,3 +486,90 @@ func benchmarkSwarm(b *testing.B, share bool) {
 
 func BenchmarkSwarmIndependent(b *testing.B) { benchmarkSwarm(b, false) }
 func BenchmarkSwarmShared(b *testing.B)     { benchmarkSwarm(b, true) }
+
+// --- Shared visited-table memory accounting --------------------------------
+
+func TestSharedVisitedChargesAttachedModels(t *testing.T) {
+	sv := mc.NewSharedVisited()
+	clk := simclock.New()
+	cfg := memmodel.DefaultConfig()
+	m1 := memmodel.New(cfg, clk)
+
+	var h1, h2 abstraction.State
+	h1[0], h2[0] = 0x01, 0x02
+	sv.Visit(h1, 1) // discovered before attach: charged retroactively
+
+	sv.AttachMem(m1)
+	if got := m1.Stats().SharedVisitedBytes; got != memmodel.SharedVisitedEntryBytes {
+		t.Errorf("attach did not charge the existing entry: %d bytes", got)
+	}
+
+	// A second model attaches, then a peer discovers a new state: both
+	// models are charged — one table, every worker's RAM.
+	m2 := memmodel.New(cfg, clk)
+	sv.AttachMem(m2)
+	sv.Visit(h2, 1)
+	for i, m := range []*memmodel.Model{m1, m2} {
+		if got := m.Stats().SharedVisitedBytes; got != 2*memmodel.SharedVisitedEntryBytes {
+			t.Errorf("model %d: %d bytes, want %d", i+1, got, 2*memmodel.SharedVisitedEntryBytes)
+		}
+	}
+
+	// Revisits grow nothing.
+	sv.Visit(h2, 2)
+	if got := m1.Stats().SharedVisitedBytes; got != 2*memmodel.SharedVisitedEntryBytes {
+		t.Errorf("revisit charged the table: %d bytes", got)
+	}
+}
+
+func TestSwarmSharedTableChargedToSessionModels(t *testing.T) {
+	memCfg := mcfs.DefaultMemoryConfig()
+	var mu sync.Mutex
+	var sessions []*mcfs.Session
+	defer func() {
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+	sr, err := mc.SwarmRun(mc.SwarmOptions{Workers: 2, ShareVisited: true},
+		func(seed int64) (mc.Config, error) {
+			s, err := mcfs.NewSession(mcfs.Options{
+				Targets:  []mcfs.TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
+				MaxDepth: 2,
+				MaxOps:   300,
+				Seed:     seed,
+				Memory:   &memCfg,
+			})
+			if err != nil {
+				return mc.Config{}, err
+			}
+			mu.Lock()
+			sessions = append(sessions, s)
+			mu.Unlock()
+			return *s.Config(), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Err != nil {
+		t.Fatal(sr.Err)
+	}
+	if sr.GlobalUniqueStates == 0 {
+		t.Fatal("swarm discovered nothing")
+	}
+	want := sr.GlobalUniqueStates * memmodel.SharedVisitedEntryBytes
+	mu.Lock()
+	defer mu.Unlock()
+	for i, s := range sessions {
+		st := s.MemoryStats()
+		if st.SharedVisitedBytes != want {
+			t.Errorf("session %d: SharedVisitedBytes = %d, want %d (= %d states x %d bytes)",
+				i, st.SharedVisitedBytes, want, sr.GlobalUniqueStates, memmodel.SharedVisitedEntryBytes)
+		}
+		// Shared mode must not ALSO grow the local visited table — that
+		// would double-charge RAM for the same entries.
+		if st.Entries != 0 {
+			t.Errorf("session %d: local visited table grew to %d entries in shared mode", i, st.Entries)
+		}
+	}
+}

@@ -23,6 +23,7 @@
 package memmodel
 
 import (
+	"sync/atomic"
 	"time"
 
 	"mcfs/internal/simclock"
@@ -30,6 +31,11 @@ import (
 
 // PageSize is the swap granularity.
 const PageSize = 4096
+
+// SharedVisitedEntryBytes approximates one entry of a shared swarm
+// visited table: a 16-byte abstract-state key, the expansion depth, and
+// hash-map bucket overhead.
+const SharedVisitedEntryBytes = 48
 
 // Config sizes the memory system.
 type Config struct {
@@ -76,6 +82,11 @@ type Model struct {
 	slots       int64 // visited-table capacity
 	resizes     int   // number of table resizes so far
 
+	// sharedVisited is the footprint charged by a shared swarm visited
+	// table (SharedVisited.AttachMem). Atomic: any worker's discovery
+	// grows every attached model, concurrently with that model's owner.
+	sharedVisited atomic.Int64
+
 	rng uint64
 }
 
@@ -109,13 +120,24 @@ func (m *Model) rand() float64 {
 // tableBytes is the visited table's current footprint.
 func (m *Model) tableBytes() int64 { return m.slots * m.cfg.SlotBytes }
 
-// ramAvailable is the RAM left for concrete states after the table.
+// ramAvailable is the RAM left for concrete states after the local
+// visited table and any shared swarm table.
 func (m *Model) ramAvailable() int64 {
-	avail := m.cfg.RAMBytes - m.tableBytes()
+	avail := m.cfg.RAMBytes - m.tableBytes() - m.sharedVisited.Load()
 	if avail < 0 {
 		return 0
 	}
 	return avail
+}
+
+// AddSharedVisited charges n bytes of shared visited-table growth.
+// Safe to call from any goroutine — a swarm peer's discovery grows the
+// one table every attached model accounts for.
+func (m *Model) AddSharedVisited(n int64) {
+	if m == nil {
+		return
+	}
+	m.sharedVisited.Add(n)
 }
 
 // Store records a new concrete state of n bytes. Overflowing the RAM
@@ -202,15 +224,20 @@ type Stats struct {
 	Entries     int64
 	Slots       int64
 	Resizes     int
+	// SharedVisitedBytes is the footprint of a shared swarm visited
+	// table this model is attached to (zero outside shared-table swarm
+	// runs). It is charged against the RAM budget like the local table.
+	SharedVisitedBytes int64
 }
 
 // Stats returns a snapshot of the model.
 func (m *Model) Stats() Stats {
 	return Stats{
-		StoredBytes: m.storedBytes,
-		SwapBytes:   m.swapBytes,
-		Entries:     m.entries,
-		Slots:       m.slots,
-		Resizes:     m.resizes,
+		StoredBytes:        m.storedBytes,
+		SwapBytes:          m.swapBytes,
+		Entries:            m.entries,
+		Slots:              m.slots,
+		Resizes:            m.resizes,
+		SharedVisitedBytes: m.sharedVisited.Load(),
 	}
 }

@@ -163,3 +163,46 @@ func TestDefaultConfigMatchesPaperVM(t *testing.T) {
 		t.Errorf("swap = %d, want 128 GiB", cfg.SwapBytes)
 	}
 }
+
+func TestSharedVisitedAccounting(t *testing.T) {
+	clk := simclock.New()
+	m := New(smallConfig(), clk)
+	// Fill RAM to just under the budget left after the local table.
+	if err := m.Store(1<<20 - m.tableBytes() - 1024); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().SwapBytes != 0 {
+		t.Fatal("store spilled before shared pressure was applied")
+	}
+	// A shared swarm table claiming RAM squeezes the stored states out.
+	m.AddSharedVisited(100 * SharedVisitedEntryBytes)
+	if err := m.Store(1024); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.SharedVisitedBytes != 100*SharedVisitedEntryBytes {
+		t.Errorf("SharedVisitedBytes = %d, want %d", st.SharedVisitedBytes, 100*SharedVisitedEntryBytes)
+	}
+	if st.SwapBytes == 0 {
+		t.Error("shared visited-table pressure caused no swap spill")
+	}
+
+	// Nil receiver and concurrent growth must both be safe.
+	var nilModel *Model
+	nilModel.AddSharedVisited(64)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			m.AddSharedVisited(SharedVisitedEntryBytes)
+		}
+		close(done)
+	}()
+	for i := 0; i < 1000; i++ {
+		m.ramAvailable()
+	}
+	<-done
+	want := int64((100 + 1000) * SharedVisitedEntryBytes)
+	if got := m.Stats().SharedVisitedBytes; got != want {
+		t.Errorf("after concurrent growth: %d, want %d", got, want)
+	}
+}

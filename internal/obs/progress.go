@@ -24,6 +24,13 @@ type Lane struct {
 // the session's virtual clock — the reported ops/s is the paper's
 // model-checking speed, not a wall-clock rate. The ticker itself runs
 // on wall time (that is when the human is watching).
+//
+// A multi-lane reporter (one lane per swarm worker) can additionally
+// print a merged line (SetAggregate) summing the per-worker counters —
+// the swarm's live progress — and warn when the swarm stalls: no
+// globally-novel state within a configurable operation window
+// (SetStallThreshold), the signature of a saturated or mis-seeded
+// search.
 type Reporter struct {
 	w        io.Writer
 	interval time.Duration
@@ -32,11 +39,47 @@ type Reporter struct {
 	mu   sync.Mutex
 	stop chan struct{}
 	done chan struct{}
+
+	aggregate string // merged-line label ("" = off)
+
+	stallOps     int64 // warn after this many ops without a novel state
+	stallCounter *Counter
+	lastMisses   int64
+	novelAtOps   int64
+	stalled      bool
 }
 
 // NewReporter builds a reporter printing to w every interval.
 func NewReporter(w io.Writer, interval time.Duration, lanes []Lane) *Reporter {
 	return &Reporter{w: w, interval: interval, lanes: lanes}
+}
+
+// SetAggregate enables a merged status line labeled name (typically
+// "swarm"): per-lane counters summed, depth and virtual elapsed taken
+// as the maximum across lanes. No-op on a nil reporter.
+func (r *Reporter) SetAggregate(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.aggregate = name
+	r.mu.Unlock()
+}
+
+// SetStallThreshold arms stall detection: when the lanes' summed
+// operation count advances by ops without a single new unique state
+// (globally across all lanes), Emit prints a warning and increments the
+// obs.MetricStallWarnings counter on the first non-nil lane's hub. One
+// warning per stall episode; discovering a novel state re-arms it.
+// ops <= 0 disarms. No-op on a nil reporter.
+func (r *Reporter) SetStallThreshold(ops int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.stallOps = ops
+	r.stalled = false
+	r.mu.Unlock()
 }
 
 // Start launches the periodic printer. No-op when the interval is not
@@ -85,18 +128,63 @@ func (r *Reporter) Stop() {
 	}
 }
 
-// Emit prints one status line per lane immediately.
+// Emit prints one status line per lane immediately, then the merged
+// aggregate line and any stall warning when configured.
 func (r *Reporter) Emit() {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	var (
+		totOps, totStates, totRevisits int64
+		maxDepth                       int64
+		maxElapsed                     time.Duration
+		warnHub                        *Hub
+		active                         int
+	)
 	for _, lane := range r.lanes {
 		if lane.Hub == nil {
 			continue
 		}
 		fmt.Fprintln(r.w, StatusLine(lane.Name, lane.Hub))
+		active++
+		if warnHub == nil {
+			warnHub = lane.Hub
+		}
+		totOps += lane.Hub.Counter(MetricOps).Value()
+		totStates += lane.Hub.Counter(MetricVisitedMisses).Value()
+		totRevisits += lane.Hub.Counter(MetricVisitedHits).Value()
+		if d := lane.Hub.Gauge(MetricDepth).Value(); d > maxDepth {
+			maxDepth = d
+		}
+		if e := lane.Hub.Now(); e > maxElapsed {
+			maxElapsed = e
+		}
+	}
+	if r.aggregate != "" && active > 1 {
+		rate := 0.0
+		if maxElapsed > 0 {
+			rate = float64(totOps) / maxElapsed.Seconds()
+		}
+		fmt.Fprintf(r.w, "progress %s: workers=%d depth<=%d states=%d revisits=%d ops=%d %.1f ops/s (virtual %v)\n",
+			r.aggregate, active, maxDepth, totStates, totRevisits, totOps, rate,
+			maxElapsed.Round(time.Millisecond))
+	}
+	if r.stallOps > 0 && active > 0 {
+		if totStates != r.lastMisses {
+			r.lastMisses = totStates
+			r.novelAtOps = totOps
+			r.stalled = false
+		} else if !r.stalled && totOps-r.novelAtOps >= r.stallOps {
+			r.stalled = true
+			if r.stallCounter == nil {
+				r.stallCounter = warnHub.Counter(MetricStallWarnings)
+			}
+			r.stallCounter.Inc()
+			fmt.Fprintf(r.w, "warning: no novel state in %d ops (search saturated or mis-seeded?)\n",
+				totOps-r.novelAtOps)
+		}
 	}
 }
 

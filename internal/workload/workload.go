@@ -64,6 +64,17 @@ func (k OpKind) String() string {
 	return fmt.Sprintf("op(%d)", int(k))
 }
 
+// KindFromString maps an operation name back to its OpKind — the
+// inverse of OpKind.String, used when decoding journaled operations.
+func KindFromString(name string) (OpKind, bool) {
+	for k, n := range opNames {
+		if n == name {
+			return OpKind(k), true
+		}
+	}
+	return 0, false
+}
+
 // Op is one fully parameterized operation, expressed against
 // mount-relative paths.
 type Op struct {

@@ -53,6 +53,7 @@ import (
 	"mcfs/internal/mc"
 	"mcfs/internal/memmodel"
 	"mcfs/internal/obs"
+	"mcfs/internal/obs/journal"
 	"mcfs/internal/simclock"
 	"mcfs/internal/tracker"
 	"mcfs/internal/vfs"
@@ -82,6 +83,13 @@ type (
 	// Cancel is the cancellation token swarm workers share; callers can
 	// pass their own (SwarmOptions.Cancel) to abort a running swarm.
 	Cancel = mc.Cancel
+	// Journal is the flight-recorder writer sessions and swarms append
+	// exploration records to (journal.Create / journal.NewWriter).
+	Journal = journal.Writer
+	// ReplayReport summarizes a deterministic journal replay.
+	ReplayReport = mc.ReplayReport
+	// MinimizeStats reports what a trail minimization did.
+	MinimizeStats = mc.MinimizeStats
 )
 
 // NewCancel returns a fresh cancellation token for aborting a swarm.
@@ -189,6 +197,11 @@ type Options struct {
 	// and the engine exports live progress through it. Nil disables all
 	// instrumentation at zero cost.
 	Obs *obs.Hub
+	// Journal attaches a flight recorder: every explored operation,
+	// visited-table decision, backtrack, and bug is appended as a
+	// replayable journal record (worker id 0 for a single session). Nil
+	// disables journaling at one branch per operation.
+	Journal *journal.Writer
 }
 
 // Session is an assembled model-checking run: a simulated kernel with
@@ -281,6 +294,7 @@ func NewSession(opts Options) (*Session, error) {
 		MajorityVote:      opts.MajorityVote,
 		Resume:            opts.Resume,
 		Obs:               opts.Obs,
+		Journal:           opts.Journal.Recorder(0),
 	}
 	return s, nil
 }
@@ -447,6 +461,20 @@ func (s *Session) Replay(trail []Op) (*Discrepancy, error) {
 	return mc.Replay(s.cfg, trail)
 }
 
+// VerifyTrail replays trail and reports whether it reproduces the
+// wanted discrepancy (any discrepancy when want is nil, otherwise one
+// of the same kind).
+func (s *Session) VerifyTrail(trail []Op, want *Discrepancy) (*Discrepancy, bool, error) {
+	return mc.VerifyTrail(s.cfg, trail, want)
+}
+
+// ReplayJournal re-executes a flight-recorder journal against this
+// (fresh) session, verifying every recorded errno and state hash — and
+// the recorded bug, if any — reproduces. See mc.ReplayJournal.
+func (s *Session) ReplayJournal(recs []journal.Record) (ReplayReport, error) {
+	return mc.ReplayJournal(s.cfg, recs)
+}
+
 // Kernel exposes the session's simulated kernel for direct syscall use
 // (examples and tests drive file systems through it).
 func (s *Session) Kernel() *kernel.Kernel { return s.kern }
@@ -502,6 +530,10 @@ type SwarmOptions struct {
 	// Cancel lets the caller abort the swarm; nil means an internal
 	// token (still fired by the first bug or failure).
 	Cancel *Cancel
+	// Journal gives every worker a flight-recorder handle on this
+	// shared writer (worker ids 1..Workers); records interleave and
+	// carry the worker id for post-hoc de-multiplexing.
+	Journal *journal.Writer
 }
 
 // SwarmRun runs a coordinated swarm (Spin's swarm verification, §2,
@@ -526,6 +558,7 @@ func SwarmRun(swarm SwarmOptions, factory func(seed int64) (Options, error)) (Sw
 		ShareVisited: swarm.ShareVisited,
 		Resume:       swarm.Resume,
 		Cancel:       swarm.Cancel,
+		Journal:      swarm.Journal,
 	}, func(seed int64) (mc.Config, error) {
 		opts, err := factory(seed)
 		if err != nil {

@@ -12,6 +12,10 @@
 #                                                    the nil-obs and
 #                                                    swarm shared-vs-
 #                                                    independent pairs)
+#   6. replay-determinism smoke: a seeded-bug run   (flight recorder end
+#      writes a repro bundle, mcfs replay must       to end: journal ->
+#      reproduce it, mcfs shrink must minimize it    bundle -> replay ->
+#                                                    shrink)
 #
 # Usage: scripts/check.sh   (from the repo root or anywhere inside it)
 set -eu
@@ -32,5 +36,22 @@ go test -race ./internal/mc/... ./internal/obs/...
 
 echo "==> bench smoke (one iteration per benchmark)"
 go test -bench . -benchtime 1x -run '^$' ./internal/mc/...
+
+echo "==> replay-determinism smoke (run -> bundle -> replay -> shrink)"
+# go run remaps the child's exit code, so build the real binary.
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+bundle="$work/bundle"
+go build -o "$work/mcfs" ./cmd/mcfs
+rc=0
+"$work/mcfs" -fs verifs1 -fs verifs2 -bug write-hole-no-zero \
+	-depth 3 -max-ops 5000 -bundle "$bundle" >/dev/null || rc=$?
+[ "$rc" -eq 3 ] || { echo "FAIL: seeded-bug run exited $rc, want 3 (bug found)"; exit 1; }
+"$work/mcfs" replay "$bundle" >/dev/null || {
+	echo "FAIL: bundle did not reproduce deterministically"; exit 1; }
+"$work/mcfs" shrink "$bundle" >/dev/null || {
+	echo "FAIL: bundle shrink failed"; exit 1; }
+"$work/mcfs" replay "$bundle" >/dev/null || {
+	echo "FAIL: minimized bundle did not reproduce"; exit 1; }
 
 echo "OK: all checks passed"
