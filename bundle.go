@@ -50,6 +50,8 @@ type BundleConfig struct {
 	Seed                     int64        `json:"seed,omitempty"`
 	MajorityVote             bool         `json:"majority_vote,omitempty"`
 	DisableEqualizeFreeSpace bool         `json:"disable_equalize_free_space,omitempty"`
+	CrashExploration         bool         `json:"crash_exploration,omitempty"`
+	CrashPointsPerOp         int          `json:"crash_points_per_op,omitempty"`
 }
 
 // Options reconstructs session options for replaying the bundle.
@@ -62,6 +64,8 @@ func (c BundleConfig) Options() Options {
 		Seed:                     c.Seed,
 		MajorityVote:             c.MajorityVote,
 		DisableEqualizeFreeSpace: c.DisableEqualizeFreeSpace,
+		CrashExploration:         c.CrashExploration,
+		CrashPointsPerOp:         c.CrashPointsPerOp,
 	}
 }
 
@@ -98,6 +102,8 @@ func WriteBundle(dir string, opts Options, res Result, journalSrc string, metric
 		Seed:                     opts.Seed,
 		MajorityVote:             opts.MajorityVote,
 		DisableEqualizeFreeSpace: opts.DisableEqualizeFreeSpace,
+		CrashExploration:         opts.CrashExploration,
+		CrashPointsPerOp:         opts.CrashPointsPerOp,
 	}
 	if err := writeJSON(filepath.Join(dir, BundleConfigFile), cfg); err != nil {
 		return err
@@ -108,6 +114,7 @@ func WriteBundle(dir string, opts Options, res Result, journalSrc string, metric
 		Details:     res.Bug.Discrepancy.Details,
 		Trail:       journal.EncodeTrail(res.Bug.Trail),
 		OpsExecuted: res.Bug.OpsExecuted,
+		Crash:       res.Bug.Crash,
 	}
 	if err := writeJSON(filepath.Join(dir, BundleBugFile), bug); err != nil {
 		return err
@@ -201,7 +208,7 @@ func (b *Bundle) Replay() (*ReplayOutcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, same, err := s.VerifyTrail(b.Trail, b.want())
+	d, same, err := b.verify(s, b.Trail)
 	s.Close()
 	if err != nil {
 		return nil, err
@@ -212,7 +219,7 @@ func (b *Bundle) Replay() (*ReplayOutcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		d, same, err := s.VerifyTrail(b.MinTrail, b.want())
+		d, same, err := b.verify(s, b.MinTrail)
 		s.Close()
 		if err != nil {
 			return nil, err
@@ -220,6 +227,15 @@ func (b *Bundle) Replay() (*ReplayOutcome, error) {
 		out.MinDiscrepancy, out.MinReproduced = d, &same
 	}
 	return out, nil
+}
+
+// verify checks one trail against the bundle's recorded discrepancy —
+// crash-testing the final op when the bug is a crash bug.
+func (b *Bundle) verify(s *Session, trail []Op) (*Discrepancy, bool, error) {
+	if b.Bug.Crash != nil {
+		return s.VerifyCrashTrail(trail, b.Bug.Crash, b.want())
+	}
+	return s.VerifyTrail(trail, b.want())
 }
 
 // Shrink delta-debugs the bundle's trail to a locally-minimal repro,
@@ -241,7 +257,7 @@ func (b *Bundle) Shrink() ([]Op, MinimizeStats, error) {
 		sessions = append(sessions, s)
 		return s.cfg, s.Close, nil
 	}
-	min, stats, err := mc.Minimize(factory, b.Trail, b.want(), mc.MinimizeOptions{})
+	min, stats, err := mc.Minimize(factory, b.Trail, b.want(), mc.MinimizeOptions{Crash: b.Bug.Crash})
 	if err != nil {
 		return nil, stats, err
 	}

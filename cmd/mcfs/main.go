@@ -6,6 +6,7 @@
 //
 //	mcfs -fs ext2 -fs ext4 [-depth 3] [-max-ops 100000] [-seed 0]
 //	     [-bug name] [-backing ram|ssd|hdd] [-no-remount]
+//	     [-crash] [-crash-points K]
 //	     [-swarm N] [-share-visited] [-parallelism P]
 //	     [-progress 1s] [-stall-ops N] [-metrics-addr :8080]
 //	     [-trace-dump] [-coverage] [-journal file] [-bundle dir]
@@ -15,7 +16,17 @@
 // Supported -fs kinds: ext2, ext4, xfs, jffs2, verifs1, verifs2.
 // Seedable -bug names (applied to the LAST -fs target):
 // truncate-no-zero, no-cache-invalidate, write-hole-no-zero,
-// size-update-on-overflow.
+// size-update-on-overflow, journal-commit-first (ext4).
+//
+// Crash exploration: -crash crash-tests every explored operation's write
+// window on each crash-testable target (ext2/ext4/jffs2 with per-op
+// remounts) — power loss is simulated at up to -crash-points sampled
+// write indices, the target is remounted through its recovery path, and
+// the recovered state is checked against a prefix-consistency oracle
+// (for ext4: fsck is clean and metadata equals the pre-op or post-op
+// state). Crash bugs carry the trail plus the exact (target, write)
+// crash point and flow through -bundle / replay / shrink like any other
+// discrepancy.
 //
 // Observability: -progress prints a Spin-style status line per engine at
 // the given wall-clock interval (one lane per swarm worker, plus a merged
@@ -42,6 +53,7 @@
 //	mcfs -fs verifs1 -fs verifs2 -swarm 8 -share-visited -parallelism 4
 //	mcfs -fs verifs1 -fs verifs2 -bug write-hole-no-zero -bundle ./bug1
 //	mcfs replay ./bug1 && mcfs shrink ./bug1
+//	mcfs -fs ext2 -fs ext4 -bug journal-commit-first -crash -depth 1
 //
 // Swarm mode is coordinated: the first worker to find a bug (or fail)
 // cancels the rest, -share-visited makes workers prune states their
@@ -95,6 +107,8 @@ func run() int {
 	seed := flag.Int64("seed", 0, "search-order seed (0 = deterministic enumeration)")
 	backing := flag.String("backing", "ram", "device backing for kernel FSes: ram, ssd, hdd")
 	noRemount := flag.Bool("no-remount", false, "disable per-operation remounts for kernel FSes")
+	crash := flag.Bool("crash", false, "crash-test each operation's write window (ext2/ext4/jffs2 targets)")
+	crashPoints := flag.Int("crash-points", 0, "max crash points sampled per operation (0 = default)")
 	swarm := flag.Int("swarm", 0, "run N diversified workers in parallel (0 = single engine)")
 	shareVisited := flag.Bool("share-visited", false, "swarm workers share one visited-state table (prune peer-explored states)")
 	parallelism := flag.Int("parallelism", 0, "max swarm workers running at once (0 = min(N, GOMAXPROCS))")
@@ -153,13 +167,15 @@ func run() int {
 		}
 		targets[len(targets)-1].Bugs = bugs
 		return mcfs.Options{
-			Targets:      targets,
-			MaxDepth:     *depth,
-			MaxOps:       *maxOps,
-			MaxStates:    *maxStates,
-			Seed:         *seed,
-			MajorityVote: *majority,
-			Obs:          hub,
+			Targets:          targets,
+			MaxDepth:         *depth,
+			MaxOps:           *maxOps,
+			MaxStates:        *maxStates,
+			Seed:             *seed,
+			MajorityVote:     *majority,
+			CrashExploration: *crash,
+			CrashPointsPerOp: *crashPoints,
+			Obs:              hub,
 		}
 	}
 
@@ -266,6 +282,7 @@ func run() int {
 		fmt.Printf("unique states:        %d distinct (%d summed, %d duplicated across workers)\n",
 			sr.GlobalUniqueStates, sr.UniqueStates, sr.DuplicateStates)
 		fmt.Printf("revisited states:     %d\n", sr.Revisits)
+		printCrashStats(sr.Crash)
 		if sr.Err != nil {
 			fmt.Fprintf(os.Stderr, "engine error (worker %d): %v\n", sr.ErrWorker+1, sr.Err)
 		}
@@ -275,7 +292,7 @@ func run() int {
 			fmt.Printf("trail:\n%s", trailOf(sr.Bug))
 		}
 		if *coverage {
-			printCoverage(sr.Coverage)
+			printCoverage(sr.Coverage, sr.Crash)
 		}
 		if sr.Bug != nil {
 			if *bundleDir != "" {
@@ -310,7 +327,7 @@ func run() int {
 	printResult(res, *traceDump)
 	fmt.Printf("syscalls executed: %d\n", session.Kernel().SyscallCount())
 	if *coverage {
-		printCoverage(res.Coverage)
+		printCoverage(res.Coverage, res.Crash)
 	}
 	if res.Bug != nil {
 		if *bundleDir != "" {
@@ -440,6 +457,7 @@ func printResult(res mcfs.Result, traceDump bool) {
 	fmt.Printf("revisited states:     %d\n", res.Revisits)
 	fmt.Printf("virtual elapsed:      %v\n", res.Elapsed)
 	fmt.Printf("model-checking speed: %.1f ops/s\n", res.Rate)
+	printCrashStats(res.Crash)
 	if res.Bug == nil {
 		fmt.Println("no discrepancies found")
 		return
@@ -452,11 +470,33 @@ func printResult(res mcfs.Result, traceDump bool) {
 	}
 }
 
+// printCrashStats summarizes crash exploration; silent when the run had
+// no crash probes.
+func printCrashStats(c mcfs.CrashStats) {
+	if c.Probes == 0 {
+		return
+	}
+	fmt.Printf("crash probes:         %d windows, %d points explored, %d recoveries verified\n",
+		c.Probes, c.PointsExplored, c.Recovered)
+	if n := c.ErrorsInjected + c.TornInjected + c.CorruptInjected; n > 0 {
+		fmt.Printf("faults injected:      %d errors, %d torn writes, %d corruptions\n",
+			c.ErrorsInjected, c.TornInjected, c.CorruptInjected)
+	}
+}
+
 // printCoverage renders the per-(operation, errno) outcome matrix: one
-// row per operation kind, one column per errno observed anywhere.
-func printCoverage(cov mcfs.Coverage) {
+// row per operation kind, one column per errno observed anywhere —
+// followed by a crash-coverage row when crash exploration ran.
+func printCoverage(cov mcfs.Coverage, crash mcfs.CrashStats) {
+	crashRow := func() {
+		if crash.Probes > 0 {
+			fmt.Printf("crash coverage: %d crash points explored, %d recoveries verified, %d torn/%d error faults injected\n",
+				crash.PointsExplored, crash.Recovered, crash.TornInjected, crash.ErrorsInjected)
+		}
+	}
 	if len(cov.ByOpErrno) == 0 {
 		fmt.Println("\ncoverage: no outcomes recorded")
+		crashRow()
 		return
 	}
 	ops := make([]string, 0, len(cov.ByOpErrno))
@@ -493,6 +533,7 @@ func printCoverage(cov mcfs.Coverage) {
 		}
 		fmt.Println(row)
 	}
+	crashRow()
 }
 
 func trailOf(b *mcfs.BugReport) string {

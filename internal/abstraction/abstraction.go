@@ -47,6 +47,13 @@ type Options struct {
 	// IncludeOwnership adds UID/GID to the hashed metadata (on by
 	// default in New; some workloads never chown and can skip it).
 	IncludeOwnership bool
+	// IgnoreContent drops file contents from the abstraction: sizes and
+	// link counts still hash, but data bytes are neither read nor
+	// compared. The crash-consistency oracle uses this — data writes are
+	// legitimately non-atomic on every real file system (only metadata
+	// is journaled), so a metadata-only abstract state is what must
+	// match a prefix of acknowledged operations after power loss.
+	IgnoreContent bool
 }
 
 // DefaultExceptions is the exception list from §3.4.
@@ -152,11 +159,13 @@ func Snapshot(k *kernel.Kernel, mountPoint string, opts Options) ([]Record, errn
 			rec.Kind = "file"
 			rec.Size = st.Size
 			rec.Nlink = st.Nlink
-			sum, e := hashFileContent(k, full)
-			if e != errno.OK {
-				return e
+			if !opts.IgnoreContent {
+				sum, e := hashFileContent(k, full)
+				if e != errno.OK {
+					return e
+				}
+				rec.ContentMD5 = sum
 			}
-			rec.ContentMD5 = sum
 			records = append(records, rec)
 		}
 		return errno.OK
@@ -220,7 +229,9 @@ func HashRecords(records []Record, opts Options) State {
 		case "file":
 			put64(uint64(r.Size))
 			put32(r.Nlink)
-			h.Write(r.ContentMD5[:])
+			if !opts.IgnoreContent {
+				h.Write(r.ContentMD5[:])
+			}
 		case "symlink":
 			h.Write([]byte(r.Target))
 			h.Write([]byte{0})
@@ -291,7 +302,7 @@ func recordDiff(x, y Record, opts Options) string {
 		if x.Nlink != y.Nlink {
 			diffs = append(diffs, fmt.Sprintf("nlink %d vs %d", x.Nlink, y.Nlink))
 		}
-		if x.ContentMD5 != y.ContentMD5 {
+		if !opts.IgnoreContent && x.ContentMD5 != y.ContentMD5 {
 			diffs = append(diffs, fmt.Sprintf("content md5 %x vs %x", x.ContentMD5[:4], y.ContentMD5[:4]))
 		}
 	}

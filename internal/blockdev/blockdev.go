@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"mcfs/internal/fault"
 	"mcfs/internal/obs"
 	"mcfs/internal/simclock"
 )
@@ -136,7 +137,11 @@ type Disk struct {
 	cached  []bool // page-cache residency per cachePage
 	lastEnd int64  // end offset of the previous medium request
 
-	failWrites bool // fault injection: all writes fail
+	// inj is the schedulable fault plane (nil = no faults). failRule is
+	// the SetFailWrites compatibility shim's rule id on inj, -1 when the
+	// shim is off.
+	inj      *fault.Injector
+	failRule int
 
 	reads, writes int64 // medium request counters
 
@@ -173,12 +178,13 @@ func NewDisk(name string, size int64, blkSize int, p Profile, clock *simclock.Cl
 		blkSize = 4096
 	}
 	return &Disk{
-		name:    name,
-		data:    make([]byte, size),
-		blkSize: blkSize,
-		profile: p,
-		clock:   clock,
-		cached:  make([]bool, (size+cachePage-1)/cachePage),
+		name:     name,
+		data:     make([]byte, size),
+		blkSize:  blkSize,
+		profile:  p,
+		clock:    clock,
+		cached:   make([]bool, (size+cachePage-1)/cachePage),
+		failRule: -1,
 	}
 }
 
@@ -187,6 +193,15 @@ var ErrOutOfRange = fmt.Errorf("blockdev: access out of range")
 
 // ErrWriteFault is returned for writes while write fault injection is on.
 var ErrWriteFault = fmt.Errorf("blockdev: injected write fault")
+
+// ImageLoader is implemented by devices that can have a raw image
+// installed directly — the media literally holding these bytes, with no
+// I/O charged and no fault-plane consultation. Power-loss simulation
+// installs crash images through it; caches come back cold, exactly as
+// after a real power cut.
+type ImageLoader interface {
+	LoadImage(img []byte) error
+}
 
 func (d *Disk) checkRange(n int, off int64) error {
 	if off < 0 || n < 0 || off+int64(n) > int64(len(d.data)) {
@@ -256,19 +271,34 @@ func (d *Disk) WriteAt(p []byte, off int64) error {
 	if err := d.checkRange(len(p), off); err != nil {
 		return err
 	}
-	if d.failWrites {
-		return ErrWriteFault
+	dec := d.inj.OnWrite(off, len(p))
+	if dec.Err != nil {
+		return dec.Err
 	}
-	copy(d.data[off:], p)
+	n := len(p)
+	if dec.Persist >= 0 && dec.Persist < n {
+		n = dec.Persist // torn write: only the prefix reaches the medium
+	}
+	copy(d.data[off:], p[:n])
+	if dec.FlipBit >= 0 && dec.FlipBit < int64(len(p))*8 {
+		d.data[off+dec.FlipBit/8] ^= 1 << uint(dec.FlipBit%8)
+	}
 	first, last := pageRange(off, len(p))
 	for pg := first; pg < last; pg++ {
 		d.cached[pg] = true
 	}
 	d.writes++
 	d.ctrWrites.Inc()
+	// The full request was issued and charged; the tear lives in the
+	// medium, not the bus.
 	kib := (len(p) + 1023) / 1024
 	d.charge(d.seekCost(off) + time.Duration(kib)*d.profile.PerKiB)
 	d.lastEnd = off + int64(len(p))
+	if dec.Capture {
+		img := make([]byte, len(d.data))
+		copy(img, d.data)
+		d.inj.SetCrashImage(img)
+	}
 	return nil
 }
 
@@ -319,8 +349,8 @@ func (d *Disk) Restore(img []byte) error {
 	if len(img) != len(d.data) {
 		return fmt.Errorf("blockdev: restore image size %d != device size %d (%s)", len(img), len(d.data), d.name)
 	}
-	if d.failWrites {
-		return ErrWriteFault
+	if err := d.inj.OnControl(); err != nil {
+		return err
 	}
 	defer d.obsHub.StartSpan(obs.LayerBlockdev, "restore:"+d.name).End()
 	copy(d.data, img)
@@ -338,11 +368,61 @@ func (d *Disk) Restore(img []byte) error {
 // Name implements Device.
 func (d *Disk) Name() string { return d.name }
 
-// SetFailWrites toggles write fault injection.
+// SetInjector attaches a fault-injection plane to the device (nil
+// detaches). An active SetFailWrites shim rule stays on the injector it
+// was installed on; install the injector before toggling the shim.
+func (d *Disk) SetInjector(inj *fault.Injector) {
+	d.mu.Lock()
+	d.inj = inj
+	d.failRule = -1
+	d.mu.Unlock()
+}
+
+// Injector returns the attached fault plane (nil when none).
+func (d *Disk) Injector() *fault.Injector {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inj
+}
+
+// SetFailWrites toggles all-writes-fail fault injection. It is a
+// compatibility shim over the schedulable fault plane: enabling it
+// installs an always-on fail-all rule (creating an injector if the
+// device has none), disabling removes the rule.
 func (d *Disk) SetFailWrites(fail bool) {
 	d.mu.Lock()
-	d.failWrites = fail
-	d.mu.Unlock()
+	defer d.mu.Unlock()
+	if fail == (d.failRule >= 0) {
+		return
+	}
+	if fail {
+		if d.inj == nil {
+			d.inj = fault.New()
+		}
+		d.failRule = d.inj.AddRule(fault.Rule{
+			Kind: fault.KindError, AtWrite: -1, Err: ErrWriteFault, AlwaysOn: true,
+		})
+		return
+	}
+	d.inj.RemoveRule(d.failRule)
+	d.failRule = -1
+}
+
+// LoadImage implements ImageLoader: img becomes the device's contents
+// with no I/O charge and no fault-plane consultation, and the page
+// cache comes back cold — the state a power cut leaves behind.
+func (d *Disk) LoadImage(img []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(img) != len(d.data) {
+		return fmt.Errorf("blockdev: load image size %d != device size %d (%s)", len(img), len(d.data), d.name)
+	}
+	copy(d.data, img)
+	for pg := range d.cached {
+		d.cached[pg] = false
+	}
+	d.lastEnd = 0
+	return nil
 }
 
 // Counters returns the number of medium read and write requests served

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"mcfs/internal/fault"
 	"mcfs/internal/obs"
 	"mcfs/internal/simclock"
 )
@@ -26,6 +27,8 @@ type MTD struct {
 
 	programCost time.Duration // per KiB programmed
 	eraseCost   time.Duration // per block erase
+
+	inj *fault.Injector // schedulable fault plane (nil = no faults)
 
 	// Observability counters (nil unless SetObs was called).
 	ctrReads, ctrWrites, ctrErases *obs.Counter
@@ -104,9 +107,25 @@ func (m *MTD) Program(p []byte, off int64) error {
 			return fmt.Errorf("%w: off=%d dev=%s", ErrNotErased, off+int64(i), m.name)
 		}
 	}
-	copy(m.data[off:], p)
+	dec := m.inj.OnWrite(off, len(p))
+	if dec.Err != nil {
+		return dec.Err
+	}
+	n := len(p)
+	if dec.Persist >= 0 && dec.Persist < n {
+		n = dec.Persist // torn program: only the prefix reaches the flash
+	}
+	copy(m.data[off:], p[:n])
+	if dec.FlipBit >= 0 && dec.FlipBit < int64(len(p))*8 {
+		m.data[off+dec.FlipBit/8] ^= 1 << uint(dec.FlipBit%8)
+	}
 	m.ctrWrites.Inc()
 	m.charge(time.Duration((len(p)+1023)/1024) * m.programCost)
+	if dec.Capture {
+		img := make([]byte, len(m.data))
+		copy(img, m.data)
+		m.inj.SetCrashImage(img)
+	}
 	return nil
 }
 
@@ -118,12 +137,23 @@ func (m *MTD) Erase(idx int) error {
 		return fmt.Errorf("%w: erase block %d of %d dev=%s", ErrOutOfRange, idx, len(m.eraseCount), m.name)
 	}
 	start := idx * m.eraseSize
+	// An erase is one window event too (crash points can fall right after
+	// it), but it is atomic: torn/corrupt decisions don't apply.
+	dec := m.inj.OnWrite(int64(start), m.eraseSize)
+	if dec.Err != nil {
+		return dec.Err
+	}
 	for i := 0; i < m.eraseSize; i++ {
 		m.data[start+i] = 0xFF
 	}
 	m.eraseCount[idx]++
 	m.ctrErases.Inc()
 	m.charge(m.eraseCost)
+	if dec.Capture {
+		img := make([]byte, len(m.data))
+		copy(img, m.data)
+		m.inj.SetCrashImage(img)
+	}
 	return nil
 }
 
@@ -140,6 +170,34 @@ func (m *MTD) charge(d time.Duration) {
 	if m.clock != nil {
 		m.clock.Advance(d)
 	}
+}
+
+// SetInjector attaches a fault-injection plane (nil detaches). Program
+// and Erase each count as one fault-window event.
+func (m *MTD) SetInjector(inj *fault.Injector) {
+	m.mu.Lock()
+	m.inj = inj
+	m.mu.Unlock()
+}
+
+// Injector returns the attached fault plane (nil when none).
+func (m *MTD) Injector() *fault.Injector {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inj
+}
+
+// LoadImage implements ImageLoader: img becomes the flash contents with
+// no I/O charge, no erase-count change, and no fault-plane consultation
+// — the state a power cut leaves behind.
+func (m *MTD) LoadImage(img []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(img) != len(m.data) {
+		return fmt.Errorf("blockdev: load image size %d != device size %d (%s)", len(img), len(m.data), m.name)
+	}
+	copy(m.data, img)
+	return nil
 }
 
 // MTDBlock bridges an MTD device to the Device interface, the stand-in
@@ -223,6 +281,9 @@ func (b *MTDBlock) Restore(img []byte) error {
 	}
 	return nil
 }
+
+// LoadImage implements ImageLoader by delegating to the MTD device.
+func (b *MTDBlock) LoadImage(img []byte) error { return b.mtd.LoadImage(img) }
 
 // Name implements Device.
 func (b *MTDBlock) Name() string { return b.mtd.Name() + "block" }

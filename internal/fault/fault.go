@@ -1,0 +1,332 @@
+// Package fault is MCFS's deterministic fault-injection plane for block
+// devices. The paper's checkpoint/restore machinery reaches states that
+// are hard to produce by testing; the states hardest of all to reach are
+// the ones left behind by power loss and media faults. This package makes
+// those states schedulable: an Injector sits between a device's write
+// path and its backing array and, per write, decides to
+//
+//   - fail the write with a chosen error (per-write-index or byte-range
+//     error injection),
+//   - persist only a prefix of it (a torn multi-sector write),
+//   - flip one bit of the payload (silent media corruption), or
+//   - capture a crash point: the device snapshots exactly the bytes that
+//     reached "media" so far, i.e. the image a power cut at that instant
+//     would leave behind.
+//
+// Determinism is the design constraint throughout: rules match on
+// window-relative write indices and byte ranges (never wall-clock or
+// randomness), so the same operation sequence sees the same faults —
+// which is what lets crash bugs flow through the flight-recorder
+// replay/minimize pipeline like any other nondeterministic choice.
+//
+// The package deliberately imports nothing from blockdev (blockdev
+// imports fault): devices call OnWrite under their own lock and apply
+// the returned Decision themselves.
+package fault
+
+import (
+	"sort"
+	"sync"
+)
+
+// Kind enumerates the fault rule kinds.
+type Kind int
+
+const (
+	// KindError fails matching writes with Rule.Err; nothing persists.
+	KindError Kind = iota
+	// KindTorn persists only the first Rule.PersistBytes bytes of
+	// matching writes — the classic torn multi-sector write.
+	KindTorn
+	// KindCorrupt flips bit Rule.BitOffset of the payload of matching
+	// writes — silent media corruption.
+	KindCorrupt
+)
+
+// Rule matches device writes and names the fault to inject. The zero
+// range (Len == 0) matches every offset; AtWrite < 0 matches every
+// window write.
+type Rule struct {
+	// Kind selects the fault.
+	Kind Kind
+	// AtWrite is the window-relative write index this rule fires at
+	// (0-based); negative matches every write in the window. Ignored by
+	// always-on rules, which have no window to count in.
+	AtWrite int
+	// Off/Len restrict the rule to writes overlapping the byte range
+	// [Off, Off+Len); Len == 0 matches any offset.
+	Off, Len int64
+	// Err is the error KindError injects.
+	Err error
+	// PersistBytes is the persisted prefix length for KindTorn.
+	PersistBytes int
+	// BitOffset is the payload bit KindCorrupt flips (clamped to the
+	// write's length).
+	BitOffset int64
+	// AlwaysOn makes the rule match outside fault windows too — the
+	// SetFailWrites compatibility shim is one of these.
+	AlwaysOn bool
+	// Once deactivates the rule after its first injection.
+	Once bool
+}
+
+// matches reports whether the rule applies to a write of n bytes at off,
+// the idx'th write of the active window (idx < 0: no window active).
+func (r Rule) matches(off int64, n int, idx int) bool {
+	if idx < 0 && !r.AlwaysOn {
+		return false
+	}
+	if !r.AlwaysOn && r.AtWrite >= 0 && r.AtWrite != idx {
+		return false
+	}
+	if r.Len > 0 && (off+int64(n) <= r.Off || off >= r.Off+r.Len) {
+		return false
+	}
+	return true
+}
+
+// Decision tells the device what to do with one write. The zero value
+// is not meaningful; use (Injector).OnWrite, which fills the sentinel
+// fields (Persist == -1, FlipBit == -1) for the no-fault case.
+type Decision struct {
+	// Err, when non-nil, fails the write; nothing reaches media.
+	Err error
+	// Persist is how many payload bytes reach media: -1 means all of
+	// them, anything else is a torn prefix.
+	Persist int
+	// FlipBit is the payload bit to invert before the copy, -1 for none.
+	FlipBit int64
+	// Capture asks the device to snapshot its full media image after
+	// applying this write and hand it over via SetCrashImage — the crash
+	// point. Execution continues normally afterwards; the capture is
+	// non-invasive.
+	Capture bool
+}
+
+// Stats counts injected faults and captured crash points.
+type Stats struct {
+	ErrorsInjected  int64
+	TornInjected    int64
+	CorruptInjected int64
+	CrashCaptures   int64
+}
+
+// Injector is one device's fault plane. All methods are safe for
+// concurrent use; devices call OnWrite under their own lock, and the
+// injector never calls back into the device, so lock order is acyclic.
+type Injector struct {
+	mu       sync.Mutex
+	rules    map[int]Rule
+	nextRule int
+
+	windowActive bool
+	windowWrites int
+
+	crashArmed bool
+	crashAt    int
+	crashImage []byte
+
+	stats Stats
+}
+
+// New returns an empty injector: no rules, no window, nothing armed.
+func New() *Injector {
+	return &Injector{rules: make(map[int]Rule)}
+}
+
+// AddRule installs a rule and returns its id for RemoveRule.
+func (in *Injector) AddRule(r Rule) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	id := in.nextRule
+	in.nextRule++
+	in.rules[id] = r
+	return id
+}
+
+// RemoveRule uninstalls the rule under id (no-op if absent).
+func (in *Injector) RemoveRule(id int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.rules, id)
+}
+
+// ClearRules uninstalls every rule.
+func (in *Injector) ClearRules() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = make(map[int]Rule)
+}
+
+// StartWindow opens a fault window: subsequent writes are numbered from
+// 0 and window-relative rules (and an armed crash point) apply to them.
+func (in *Injector) StartWindow() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.windowActive = true
+	in.windowWrites = 0
+}
+
+// EndWindow closes the fault window; only always-on rules match after.
+func (in *Injector) EndWindow() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.windowActive = false
+}
+
+// WindowWrites reports how many writes the current (or last) window has
+// seen — the size of the crash-point choice space for the windowed
+// operation.
+func (in *Injector) WindowWrites() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.windowWrites
+}
+
+// ArmCrash arms a crash point at window write k: after that write's
+// payload reaches media, the device snapshots its image and hands it
+// over (SetCrashImage). Arming replaces any previous arm and clears a
+// previously captured image.
+func (in *Injector) ArmCrash(k int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashArmed = true
+	in.crashAt = k
+	in.crashImage = nil
+}
+
+// Disarm cancels an armed crash point and drops any captured image.
+func (in *Injector) Disarm() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashArmed = false
+	in.crashImage = nil
+}
+
+// SetCrashImage is called by the device in response to Decision.Capture
+// with its full media image. The injector takes ownership of img.
+func (in *Injector) SetCrashImage(img []byte) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashImage = img
+	in.crashArmed = false
+	in.stats.CrashCaptures++
+}
+
+// TakeCrashImage returns the captured crash image (nil if the armed
+// write never happened) and clears it.
+func (in *Injector) TakeCrashImage() []byte {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	img := in.crashImage
+	in.crashImage = nil
+	in.crashArmed = false
+	return img
+}
+
+// Stats returns a snapshot of the injection counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// ruleOrder returns the installed rule ids in insertion (id) order, so
+// rule evaluation — and therefore every injected fault — is independent
+// of Go's map iteration order. Caller holds in.mu.
+func (in *Injector) ruleOrder() []int {
+	ids := make([]int, 0, len(in.rules))
+	for id := range in.rules {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// OnWrite is the device's per-write hook: n payload bytes at device
+// offset off are about to reach media. Nil-safe — a nil injector always
+// answers "no fault". The write is counted against the open window
+// (if any) whether or not a fault fires.
+func (in *Injector) OnWrite(off int64, n int) Decision {
+	dec := Decision{Persist: -1, FlipBit: -1}
+	if in == nil {
+		return dec
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	idx := -1
+	if in.windowActive {
+		idx = in.windowWrites
+		in.windowWrites++
+	}
+	for _, id := range in.ruleOrder() {
+		r := in.rules[id]
+		if !r.matches(off, n, idx) {
+			continue
+		}
+		switch r.Kind {
+		case KindError:
+			// Errors dominate: a failed write persists nothing, so any
+			// torn/corrupt match on the same write is moot.
+			dec.Err = r.Err
+			dec.Persist = -1
+			dec.FlipBit = -1
+			in.stats.ErrorsInjected++
+			if r.Once {
+				delete(in.rules, id)
+			}
+			return dec
+		case KindTorn:
+			p := r.PersistBytes
+			if p > n {
+				p = n
+			}
+			if p < 0 {
+				p = 0
+			}
+			dec.Persist = p
+			in.stats.TornInjected++
+		case KindCorrupt:
+			b := r.BitOffset
+			if max := int64(n)*8 - 1; b > max {
+				b = max
+			}
+			if b < 0 {
+				b = 0
+			}
+			dec.FlipBit = b
+			in.stats.CorruptInjected++
+		}
+		if r.Once {
+			delete(in.rules, id)
+		}
+	}
+	if in.crashArmed && idx >= 0 && idx == in.crashAt {
+		dec.Capture = true
+	}
+	return dec
+}
+
+// OnControl is the hook for non-write device mutations (image restore):
+// only always-on error rules apply — a device that fails all writes must
+// fail restores too (the SetFailWrites contract) — and nothing is
+// counted against the window. Nil-safe.
+func (in *Injector) OnControl() error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, id := range in.ruleOrder() {
+		r := in.rules[id]
+		if r.Kind == KindError && r.AlwaysOn && r.AtWrite < 0 && r.Len == 0 {
+			err := r.Err
+			in.stats.ErrorsInjected++
+			if r.Once {
+				delete(in.rules, id)
+			}
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorIsNoFault(t *testing.T) {
+	var in *Injector
+	dec := in.OnWrite(0, 512)
+	if dec.Err != nil || dec.Persist != -1 || dec.FlipBit != -1 || dec.Capture {
+		t.Errorf("nil injector decision = %+v, want no-fault", dec)
+	}
+	if err := in.OnControl(); err != nil {
+		t.Errorf("nil injector OnControl = %v", err)
+	}
+}
+
+func TestErrorRuleAtWriteIndex(t *testing.T) {
+	boom := errors.New("boom")
+	in := New()
+	in.AddRule(Rule{Kind: KindError, AtWrite: 1, Err: boom})
+
+	in.StartWindow()
+	if dec := in.OnWrite(0, 512); dec.Err != nil {
+		t.Errorf("write 0 faulted: %v", dec.Err)
+	}
+	if dec := in.OnWrite(512, 512); dec.Err != boom {
+		t.Errorf("write 1 err = %v, want boom", dec.Err)
+	}
+	if dec := in.OnWrite(1024, 512); dec.Err != nil {
+		t.Errorf("write 2 faulted: %v", dec.Err)
+	}
+	in.EndWindow()
+	if got := in.WindowWrites(); got != 3 {
+		t.Errorf("WindowWrites = %d, want 3", got)
+	}
+	if got := in.Stats().ErrorsInjected; got != 1 {
+		t.Errorf("ErrorsInjected = %d, want 1", got)
+	}
+}
+
+func TestWindowRelativeRulesInertOutsideWindow(t *testing.T) {
+	in := New()
+	in.AddRule(Rule{Kind: KindError, AtWrite: -1, Err: errors.New("x")})
+	if dec := in.OnWrite(0, 512); dec.Err != nil {
+		t.Errorf("window rule fired outside a window: %v", dec.Err)
+	}
+	in.StartWindow()
+	if dec := in.OnWrite(0, 512); dec.Err == nil {
+		t.Error("window rule did not fire inside the window")
+	}
+	in.EndWindow()
+	if dec := in.OnWrite(0, 512); dec.Err != nil {
+		t.Errorf("window rule fired after EndWindow: %v", dec.Err)
+	}
+}
+
+func TestAlwaysOnRuleAndShimSemantics(t *testing.T) {
+	boom := errors.New("write fault")
+	in := New()
+	id := in.AddRule(Rule{Kind: KindError, AtWrite: -1, Err: boom, AlwaysOn: true})
+	if dec := in.OnWrite(4096, 100); dec.Err != boom {
+		t.Errorf("always-on rule inert outside window: %v", dec.Err)
+	}
+	if err := in.OnControl(); err != boom {
+		t.Errorf("OnControl = %v, want boom (fail-all covers restores)", err)
+	}
+	in.RemoveRule(id)
+	if dec := in.OnWrite(4096, 100); dec.Err != nil {
+		t.Errorf("removed rule still fires: %v", dec.Err)
+	}
+	if err := in.OnControl(); err != nil {
+		t.Errorf("OnControl after removal = %v", err)
+	}
+}
+
+func TestByteRangeFilter(t *testing.T) {
+	boom := errors.New("range")
+	in := New()
+	in.AddRule(Rule{Kind: KindError, AtWrite: -1, Off: 1024, Len: 512, Err: boom, AlwaysOn: true})
+
+	cases := []struct {
+		off  int64
+		n    int
+		want bool
+	}{
+		{0, 512, false},     // entirely below
+		{512, 512, false},   // ends exactly at range start
+		{1024, 512, true},   // exact
+		{1000, 100, true},   // overlaps start
+		{1535, 512, true},   // overlaps end
+		{1536, 512, false},  // starts exactly at range end
+		{0, 4096, true},     // spans the range
+	}
+	for _, c := range cases {
+		dec := in.OnWrite(c.off, c.n)
+		if got := dec.Err != nil; got != c.want {
+			t.Errorf("write(off=%d, n=%d): fault=%v, want %v", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestTornRulePersistsPrefix(t *testing.T) {
+	in := New()
+	in.AddRule(Rule{Kind: KindTorn, AtWrite: 0, PersistBytes: 100})
+	in.StartWindow()
+	dec := in.OnWrite(0, 4096)
+	if dec.Persist != 100 {
+		t.Errorf("Persist = %d, want 100", dec.Persist)
+	}
+	// Prefix longer than the write clamps to the write.
+	in.AddRule(Rule{Kind: KindTorn, AtWrite: 1, PersistBytes: 1 << 20})
+	dec = in.OnWrite(0, 4096)
+	if dec.Persist != 4096 {
+		t.Errorf("clamped Persist = %d, want 4096", dec.Persist)
+	}
+	if got := in.Stats().TornInjected; got != 2 {
+		t.Errorf("TornInjected = %d, want 2", got)
+	}
+}
+
+func TestCorruptRuleFlipsOneBit(t *testing.T) {
+	in := New()
+	in.AddRule(Rule{Kind: KindCorrupt, AtWrite: 0, BitOffset: 37})
+	in.StartWindow()
+	dec := in.OnWrite(0, 4096)
+	if dec.FlipBit != 37 {
+		t.Errorf("FlipBit = %d, want 37", dec.FlipBit)
+	}
+	// Out-of-range bit clamps into the payload.
+	in.AddRule(Rule{Kind: KindCorrupt, AtWrite: 1, BitOffset: 1 << 40})
+	dec = in.OnWrite(0, 16)
+	if dec.FlipBit != 16*8-1 {
+		t.Errorf("clamped FlipBit = %d, want %d", dec.FlipBit, 16*8-1)
+	}
+}
+
+func TestOnceRuleFiresOnce(t *testing.T) {
+	boom := errors.New("once")
+	in := New()
+	in.AddRule(Rule{Kind: KindError, AtWrite: -1, Err: boom, AlwaysOn: true, Once: true})
+	if dec := in.OnWrite(0, 512); dec.Err != boom {
+		t.Fatal("once rule did not fire")
+	}
+	if dec := in.OnWrite(0, 512); dec.Err != nil {
+		t.Errorf("once rule fired twice: %v", dec.Err)
+	}
+}
+
+func TestErrorRuleDominatesTorn(t *testing.T) {
+	boom := errors.New("dominate")
+	in := New()
+	in.AddRule(Rule{Kind: KindTorn, AtWrite: 0, PersistBytes: 10})
+	in.AddRule(Rule{Kind: KindError, AtWrite: 0, Err: boom})
+	in.StartWindow()
+	dec := in.OnWrite(0, 512)
+	if dec.Err != boom || dec.Persist != -1 {
+		t.Errorf("decision = %+v, want error-dominates (Err=boom, Persist=-1)", dec)
+	}
+}
+
+func TestCrashArmCaptureTake(t *testing.T) {
+	in := New()
+	in.StartWindow()
+	in.ArmCrash(1)
+
+	if dec := in.OnWrite(0, 512); dec.Capture {
+		t.Error("write 0 asked to capture, armed at 1")
+	}
+	dec := in.OnWrite(512, 512)
+	if !dec.Capture {
+		t.Fatal("write 1 did not ask to capture")
+	}
+	img := []byte{1, 2, 3}
+	in.SetCrashImage(img)
+	// After capture the arm is consumed: later writes don't capture.
+	if dec := in.OnWrite(1024, 512); dec.Capture {
+		t.Error("write 2 asked to capture after the image was taken")
+	}
+	got := in.TakeCrashImage()
+	if len(got) != 3 || got[0] != 1 {
+		t.Errorf("TakeCrashImage = %v, want the set image", got)
+	}
+	if in.TakeCrashImage() != nil {
+		t.Error("second TakeCrashImage returned a stale image")
+	}
+	if got := in.Stats().CrashCaptures; got != 1 {
+		t.Errorf("CrashCaptures = %d, want 1", got)
+	}
+}
+
+func TestCrashPointPastWindowNeverCaptures(t *testing.T) {
+	in := New()
+	in.StartWindow()
+	in.ArmCrash(5)
+	for i := 0; i < 3; i++ {
+		if dec := in.OnWrite(int64(i)*512, 512); dec.Capture {
+			t.Fatalf("write %d captured, armed at 5", i)
+		}
+	}
+	in.EndWindow()
+	if img := in.TakeCrashImage(); img != nil {
+		t.Errorf("image captured for an unreached point: %v", img)
+	}
+}
+
+func TestDisarmClearsPendingCapture(t *testing.T) {
+	in := New()
+	in.StartWindow()
+	in.ArmCrash(0)
+	if dec := in.OnWrite(0, 512); !dec.Capture {
+		t.Fatal("armed write did not capture")
+	}
+	in.SetCrashImage([]byte{9})
+	in.Disarm()
+	if img := in.TakeCrashImage(); img != nil {
+		t.Errorf("Disarm left an image behind: %v", img)
+	}
+}
+
+func TestStartWindowResetsWriteCount(t *testing.T) {
+	in := New()
+	in.StartWindow()
+	in.OnWrite(0, 1)
+	in.OnWrite(0, 1)
+	in.StartWindow()
+	in.OnWrite(0, 1)
+	in.EndWindow()
+	if got := in.WindowWrites(); got != 1 {
+		t.Errorf("WindowWrites = %d after re-open, want 1", got)
+	}
+}
+
+func TestDeterministicRuleOrder(t *testing.T) {
+	// Two error rules match the same write: the lower id must win every
+	// time, regardless of map iteration order.
+	first := errors.New("first")
+	second := errors.New("second")
+	for trial := 0; trial < 50; trial++ {
+		in := New()
+		in.AddRule(Rule{Kind: KindError, AtWrite: 0, Err: first})
+		in.AddRule(Rule{Kind: KindError, AtWrite: 0, Err: second})
+		in.StartWindow()
+		if dec := in.OnWrite(0, 512); dec.Err != first {
+			t.Fatalf("trial %d: err = %v, want first-installed rule", trial, dec.Err)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	// Smoke the locking under -race: rule churn, writes, and windowing
+	// from racing goroutines must not trip the race detector.
+	in := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := in.AddRule(Rule{Kind: KindTorn, AtWrite: i % 7, PersistBytes: i})
+				in.OnWrite(int64(i)*512, 512)
+				in.RemoveRule(id)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			in.StartWindow()
+			in.ArmCrash(i % 3)
+			in.OnWrite(0, 512)
+			in.Disarm()
+			in.EndWindow()
+			in.WindowWrites()
+			in.Stats()
+		}
+	}()
+	wg.Wait()
+}

@@ -116,9 +116,7 @@ func (f *FS) addDirEntry(dirIno uint32, ci *cachedInode, ino uint32, name string
 		used := blockUsed(buf)
 		if used+need <= BlockSize {
 			encodeDirent(buf[used:], ino, name)
-			if err := f.writeBlock(b, buf); err != nil {
-				return errno.EIO
-			}
+			f.writeMetaBlock(b, buf)
 			return errno.OK
 		}
 	}
@@ -130,9 +128,7 @@ func (f *FS) addDirEntry(dirIno uint32, ci *cachedInode, ino uint32, name string
 	}
 	buf := make([]byte, BlockSize)
 	encodeDirent(buf, ino, name)
-	if err := f.writeBlock(blk, buf); err != nil {
-		return errno.EIO
-	}
+	f.writeMetaBlock(blk, buf)
 	ci.size += BlockSize // ext directory sizes grow in whole blocks
 	f.markDirty(ci)
 	_ = dirIno
@@ -162,9 +158,7 @@ func (f *FS) removeDirEntry(ci *cachedInode, name string) errno.Errno {
 			for _, keep := range entries {
 				pos += encodeDirent(nb[pos:], keep.ino, keep.name)
 			}
-			if err := f.writeBlock(b, nb); err != nil {
-				return errno.EIO
-			}
+			f.writeMetaBlock(b, nb)
 			return errno.OK
 		}
 	}
@@ -199,9 +193,7 @@ func (f *FS) replaceDirEntry(ci *cachedInode, name string, newIno uint32) errno.
 		for _, keep := range entries {
 			pos += encodeDirent(nb[pos:], keep.ino, keep.name)
 		}
-		if err := f.writeBlock(b, nb); err != nil {
-			return errno.EIO
-		}
+		f.writeMetaBlock(b, nb)
 		return errno.OK
 	}
 	return errno.ENOENT

@@ -398,6 +398,11 @@ func TestJournalReplayAfterCrash(t *testing.T) {
 	copy(im, f.inodeBitmap)
 	writes = append(writes, bw{f.layout.inodeBitmap, im})
 	writes = append(writes, bw{0, f.sb.encode()})
+	// Staged metadata blocks (directory blocks etc.) are part of the
+	// transaction too — Sync journals them alongside the inode table.
+	for blk, img := range f.dirtyMeta {
+		writes = append(writes, bw{blk, img})
+	}
 	tx := f.journal.begin()
 	for _, w := range writes {
 		tx.log(w.blk, w.data)

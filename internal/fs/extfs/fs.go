@@ -2,6 +2,7 @@ package extfs
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"mcfs/internal/blockdev"
@@ -31,6 +32,15 @@ type FS struct {
 	dirtyIBM    bool
 	dirtySB     bool
 
+	// dirtyMeta caches metadata block images (directory blocks, indirect
+	// pointer blocks, symlink targets) written since the last Sync. Like
+	// real ext4, these only reach the device inside a journaled Sync —
+	// writing them through as they happen would make individual operations
+	// non-atomic across a crash even with a journal. File data blocks are
+	// NOT cached here: data is written through (and is legitimately
+	// non-atomic, as on real ext4 in data=ordered mode).
+	dirtyMeta map[uint32][]byte
+
 	inodeCache map[uint32]*cachedInode
 
 	journal *journal // nil in ext2 mode
@@ -49,10 +59,26 @@ var _ vfs.LinkFS = (*FS)(nil)
 var _ vfs.SymlinkFS = (*FS)(nil)
 var _ vfs.Typer = (*FS)(nil)
 
+// MountOpts tunes Mount behavior beyond the defaults.
+type MountOpts struct {
+	// JournalCommitFirst deliberately breaks the journal's write ordering:
+	// the descriptor and commit records go to the device BEFORE the logged
+	// block images. A crash between the commit record and the images makes
+	// replay apply stale journal contents over live metadata. This is a
+	// seeded bug for exercising the crash-consistency checker; never set
+	// it outside of testing.
+	JournalCommitFirst bool
+}
+
 // Mount reads the volume off the device and returns a live FS. In ext4
 // mode, any committed-but-unapplied journal transactions are replayed
 // first, exactly like jbd2 recovery.
 func Mount(dev blockdev.Device, clock *simclock.Clock) (*FS, error) {
+	return MountWith(dev, clock, MountOpts{})
+}
+
+// MountWith is Mount with explicit options.
+func MountWith(dev blockdev.Device, clock *simclock.Clock, opts MountOpts) (*FS, error) {
 	sbBuf := make([]byte, BlockSize)
 	if err := dev.ReadAt(sbBuf, 0); err != nil {
 		return nil, err
@@ -67,10 +93,12 @@ func Mount(dev blockdev.Device, clock *simclock.Clock) (*FS, error) {
 		clock:      clock,
 		sb:         sb,
 		layout:     l,
+		dirtyMeta:  make(map[uint32][]byte),
 		inodeCache: make(map[uint32]*cachedInode),
 	}
 	if sb.hasJournal() {
 		f.journal = newJournal(dev, l.journal, l.journalLen)
+		f.journal.commitFirst = opts.JournalCommitFirst
 		if err := f.journal.replay(); err != nil {
 			return nil, fmt.Errorf("extfs: journal replay: %w", err)
 		}
@@ -133,12 +161,25 @@ func (f *FS) now() time.Duration {
 
 func (f *FS) readBlock(blk uint32) ([]byte, error) {
 	buf := make([]byte, BlockSize)
+	if img, ok := f.dirtyMeta[blk]; ok {
+		copy(buf, img)
+		return buf, nil
+	}
 	err := f.dev.ReadAt(buf, int64(blk)*BlockSize)
 	return buf, err
 }
 
 func (f *FS) writeBlock(blk uint32, data []byte) error {
 	return f.dev.WriteAt(data, int64(blk)*BlockSize)
+}
+
+// writeMetaBlock stages a metadata block image in memory; it reaches the
+// device only inside the next Sync (journaled first in ext4 mode). It
+// cannot fail: there is no device I/O until Sync.
+func (f *FS) writeMetaBlock(blk uint32, data []byte) {
+	img := make([]byte, BlockSize)
+	copy(img, data)
+	f.dirtyMeta[blk] = img
 }
 
 // --- allocation ---------------------------------------------------------
@@ -167,6 +208,7 @@ func (f *FS) freeBlock(blk uint32) {
 	if blk == 0 {
 		return
 	}
+	delete(f.dirtyMeta, blk)
 	bitmapClear(f.blockBitmap, blk)
 	f.sb.freeBlocks++
 	f.dirtyBBM = true
@@ -273,9 +315,16 @@ func (f *FS) Sync() errno.Errno {
 	if f.dirtySB {
 		writes = append(writes, blockWrite{0, f.sb.encode()})
 	}
+	for blk, img := range f.dirtyMeta {
+		writes = append(writes, blockWrite{blk, img})
+	}
 	if len(writes) == 0 {
 		return errno.OK
 	}
+	// Sort by block number: maps iterate in random order, and the crash
+	// checker samples crash points by write index — the device must see
+	// the same write sequence on every run of the same operation.
+	sort.Slice(writes, func(i, j int) bool { return writes[i].blk < writes[j].blk })
 
 	if f.journal != nil {
 		tx := f.journal.begin()
@@ -299,6 +348,7 @@ func (f *FS) Sync() errno.Errno {
 	for _, ci := range f.inodeCache {
 		ci.dirty = false
 	}
+	f.dirtyMeta = make(map[uint32][]byte)
 	f.dirtyBBM = false
 	f.dirtyIBM = false
 	f.dirtySB = false
@@ -355,9 +405,7 @@ func (f *FS) blockForIndex(ci *cachedInode, idx int, allocate bool) (uint32, err
 		ptrs[slot+1] = byte(blk >> 8)
 		ptrs[slot+2] = byte(blk >> 16)
 		ptrs[slot+3] = byte(blk >> 24)
-		if err := f.writeBlock(ci.indir, ptrs); err != nil {
-			return 0, errno.EIO
-		}
+		f.writeMetaBlock(ci.indir, ptrs)
 	}
 	return blk, errno.OK
 }
@@ -405,9 +453,7 @@ func (f *FS) truncateBlocks(ci *cachedInode, keep int) errno.Errno {
 		return errno.OK
 	}
 	if changed {
-		if err := f.writeBlock(ci.indir, ptrs); err != nil {
-			return errno.EIO
-		}
+		f.writeMetaBlock(ci.indir, ptrs)
 	}
 	return errno.OK
 }

@@ -26,6 +26,11 @@ type journal struct {
 	start uint32 // first journal block
 	size  uint32 // journal length in blocks
 	seq   uint32
+
+	// commitFirst is the seeded ordering bug (see MountOpts): when set,
+	// commit() writes the descriptor and commit record before the logged
+	// images, so a crash in between makes replay apply garbage.
+	commitFirst bool
 }
 
 func newJournal(dev blockdev.Device, start, size uint32) *journal {
@@ -70,6 +75,28 @@ func (tx *transaction) commit() error {
 	for i, blk := range tx.blocks {
 		le.PutUint32(desc[12+4*i:], blk)
 	}
+	commit := make([]byte, BlockSize)
+	le.PutUint32(commit[0:], jMagicCommit)
+	le.PutUint32(commit[4:], j.seq)
+
+	if j.commitFirst {
+		// Seeded bug: descriptor and commit reach the device before the
+		// images they vouch for. A crash inside this window makes the next
+		// mount replay whatever stale bytes sit in the journal data area.
+		if err := j.dev.WriteAt(desc, int64(j.start)*BlockSize); err != nil {
+			return err
+		}
+		if err := j.dev.WriteAt(commit, int64(j.start+1+uint32(len(tx.blocks)))*BlockSize); err != nil {
+			return err
+		}
+		for i, img := range tx.data {
+			if err := j.dev.WriteAt(img, int64(j.start+1+uint32(i))*BlockSize); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	// Data images first, then descriptor, then commit: the descriptor
 	// going down before data would let replay apply torn data.
 	for i, img := range tx.data {
@@ -80,9 +107,6 @@ func (tx *transaction) commit() error {
 	if err := j.dev.WriteAt(desc, int64(j.start)*BlockSize); err != nil {
 		return err
 	}
-	commit := make([]byte, BlockSize)
-	le.PutUint32(commit[0:], jMagicCommit)
-	le.PutUint32(commit[4:], j.seq)
 	return j.dev.WriteAt(commit, int64(j.start+1+uint32(len(tx.blocks)))*BlockSize)
 }
 

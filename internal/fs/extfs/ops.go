@@ -175,9 +175,7 @@ func (f *FS) makeNode(parent vfs.Ino, name string, mode vfs.Mode, uid, gid uint3
 		buf := make([]byte, BlockSize)
 		pos := encodeDirent(buf, ino, ".")
 		encodeDirent(buf[pos:], uint32(parent), "..")
-		if err := f.writeBlock(blk, buf); err != nil {
-			return 0, nil, errno.EIO
-		}
+		f.writeMetaBlock(blk, buf)
 	} else {
 		ci.nlink = 1
 	}
@@ -620,9 +618,7 @@ func (f *FS) Symlink(target string, parent vfs.Ino, name string, uid, gid uint32
 	}
 	buf := make([]byte, BlockSize)
 	copy(buf, target)
-	if err := f.writeBlock(blk, buf); err != nil {
-		return 0, errno.EIO
-	}
+	f.writeMetaBlock(blk, buf)
 	ci.direct[0] = blk
 	ci.size = uint64(len(target))
 	f.markDirty(ci)

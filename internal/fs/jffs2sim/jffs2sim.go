@@ -20,6 +20,7 @@ package jffs2sim
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"time"
 
@@ -43,7 +44,7 @@ const (
 	// RootIno is the root directory's inode number.
 	RootIno = 1
 
-	nodeHeader = 12 // magic(2) type(2) totLen(4) version(4)
+	nodeHeader = 16 // magic(2) type(2) totLen(4) version(4) crc(4)
 )
 
 // FS is a mounted jffs2sim volume. All state lives in memory after the
@@ -131,16 +132,36 @@ func Mount(mtd *blockdev.MTD, clock *simclock.Clock) (*FS, error) {
 			return nil, err
 		}
 		pos := 0
+		sealed := false
 		for pos+nodeHeader <= es {
 			le := binary.LittleEndian
 			if le.Uint16(buf[pos:]) != NodeMagic {
-				break // erased tail of the block
+				// All-0xFF means the erased tail of the block. Anything
+				// else is the debris of a write that tore inside the
+				// header: seal the block so the write head never programs
+				// over half-written flash.
+				if !erasedRegion(buf[pos : pos+nodeHeader]) {
+					sealed = true
+				}
+				break
 			}
 			typ := le.Uint16(buf[pos+2:])
 			totLen := int(le.Uint32(buf[pos+4:]))
 			version := le.Uint32(buf[pos+8:])
+			crc := le.Uint32(buf[pos+12:])
 			if totLen < nodeHeader || pos+totLen > es {
-				return nil, fmt.Errorf("jffs2sim: corrupt node at block %d off %d", blk, pos)
+				// Torn header: the length field never finished programming.
+				sealed = true
+				break
+			}
+			want := crc32.ChecksumIEEE(buf[pos : pos+12])
+			want = crc32.Update(want, crc32.IEEETable, buf[pos+nodeHeader:pos+totLen])
+			if crc != want {
+				// Torn or corrupted node: like real JFFS2, the scan drops
+				// the bad node and everything after it in the block — the
+				// log up to this point is the consistent prefix.
+				sealed = true
+				break
 			}
 			payload := make([]byte, totLen-nodeHeader)
 			copy(payload, buf[pos+nodeHeader:pos+totLen])
@@ -150,10 +171,10 @@ func Mount(mtd *blockdev.MTD, clock *simclock.Clock) (*FS, error) {
 				f.version = version
 			}
 		}
-		f.blockUsed[blk] = pos
-		if pos < es && f.curOff == 0 && f.curBlock == 0 && pos > 0 {
-			// remember a partially filled block as a write-head candidate
-			f.curBlock, f.curOff = blk, pos
+		if sealed {
+			f.blockUsed[blk] = es // no appends here until GC erases it
+		} else {
+			f.blockUsed[blk] = pos
 		}
 	}
 	// Position the write head at the first block with free space.
@@ -184,6 +205,17 @@ func Mount(mtd *blockdev.MTD, clock *simclock.Clock) (*FS, error) {
 		clock.Advance(200 * time.Microsecond) // scan/index CPU cost
 	}
 	return f, nil
+}
+
+// erasedRegion reports whether every byte is still in the erased (0xFF)
+// state.
+func erasedRegion(p []byte) bool {
+	for _, b := range p {
+		if b != 0xFF {
+			return false
+		}
+	}
+	return true
 }
 
 // FSType implements vfs.Typer.
@@ -382,6 +414,9 @@ func (f *FS) appendNode(typ uint16, payload []byte) errno.Errno {
 	le.PutUint32(node[4:], uint32(totLen))
 	le.PutUint32(node[8:], f.version)
 	copy(node[nodeHeader:], payload)
+	crc := crc32.ChecksumIEEE(node[0:12])
+	crc = crc32.Update(crc, crc32.IEEETable, node[nodeHeader:])
+	le.PutUint32(node[12:], crc)
 	if err := f.mtd.Program(node, int64(f.curBlock*es+f.curOff)); err != nil {
 		return errno.EIO
 	}

@@ -290,6 +290,37 @@ func (k *Kernel) remount(point string) error {
 	return k.Mount(point, spec, opts)
 }
 
+// CrashRemount simulates power loss at point: every open file descriptor
+// and all in-memory mount state (file system instance, dentry/attribute
+// caches) are discarded WITHOUT any flush — no Unmounter runs, because a
+// power cut does not get to write back dirty state. powerCut then runs
+// with the mount gone (it installs the surviving media image on the
+// backing device), and the file system is mounted fresh from that image,
+// which is where its recovery (journal replay, log scan) executes. A
+// mount failure leaves the mount point empty — recovery failed.
+func (k *Kernel) CrashRemount(point string, powerCut func() error) error {
+	defer k.begin("crash-remount").End()
+	point = vfs.JoinPath(point)
+	m, ok := k.mounts[point]
+	if !ok {
+		return fmt.Errorf("kernel: %s not mounted", point)
+	}
+	for fd, of := range k.fds {
+		if of.mount == m {
+			delete(k.fds, fd)
+		}
+	}
+	spec := m.spec
+	opts := MountOptions{Sync: m.sync}
+	delete(k.mounts, point)
+	if powerCut != nil {
+		if err := powerCut(); err != nil {
+			return fmt.Errorf("kernel: power cut at %s: %w", point, err)
+		}
+	}
+	return k.Mount(point, spec, opts)
+}
+
 // MountAt returns the mount whose point prefixes path, along with the
 // path remainder inside the mount.
 func (k *Kernel) MountAt(path string) (*Mount, string, errno.Errno) {

@@ -1,0 +1,422 @@
+// Crash-consistency exploration: at nondeterministically chosen crash
+// points inside an operation's write window, simulate power loss —
+// discard all volatile state, keep only the blocks that reached media —
+// remount the target through its recovery path, and check a
+// prefix-consistency oracle: the recovered state must be the state after
+// some prefix of the acknowledged (synced) operations. For a journaled
+// target that means exactly "before the op" or "after the op" (Strict
+// mode, backed by fsck); for unjournaled or log-structured targets the
+// oracle is mount-only — recovery must succeed and produce a mountable,
+// checkable volume.
+//
+// The probe is systematic, not random: the operation is first executed
+// once under an open fault window to measure its write count W, the
+// device is rolled back, and then the op is re-executed with a crash
+// point armed at each sampled write index k (all of them when W is
+// small, an even spread including 0 and W-1 otherwise). Determinism is
+// inherited from the fault plane: the same operation sequence produces
+// the same write sequence, so a crash bug pins to (trail, target, write
+// index) and flows through the journal/replay/minimize/bundle pipeline
+// like any other discrepancy.
+package mc
+
+import (
+	"fmt"
+
+	"mcfs/internal/abstraction"
+	"mcfs/internal/checker"
+	"mcfs/internal/errno"
+	"mcfs/internal/fault"
+	"mcfs/internal/obs/journal"
+	"mcfs/internal/workload"
+)
+
+// KindCrashConsistency is the discrepancy kind of crash-recovery bugs.
+const KindCrashConsistency = "crash-consistency"
+
+// DefaultCrashPointsPerOp is how many crash points are sampled per
+// (state, operation, target) when the write window is larger.
+const DefaultCrashPointsPerOp = 4
+
+// CrashPlane is one target's crash-testing surface. It is deliberately
+// self-contained — closures over the session's kernel, device, and
+// injector — so the engine stays ignorant of device and mount plumbing.
+type CrashPlane struct {
+	// Target is the target's index in the checker's target list; Name
+	// its human name (e.g. "ext4#1"); Mount its mount point.
+	Target int
+	Name   string
+	Mount  string
+	// Injector is the fault plane installed on the target's device.
+	Injector *fault.Injector
+	// PreOp/PostOp bracket one probed execution exactly as the target's
+	// tracker brackets a normal step (remounts for kernel file systems).
+	// PreOp runs before the fault window opens — its flushes belong to
+	// the previous state — and PostOp runs inside it, so sync-path
+	// writes (journal commits) are crash-testable.
+	PreOp  func() error
+	PostOp func() error
+	// Snapshot captures the device image; Restore brings it back even
+	// when the target is left unmounted by a failed recovery.
+	Snapshot func() ([]byte, error)
+	Restore  func(img []byte) error
+	// PowerCycle simulates power loss with img as the surviving media
+	// image: drop all volatile state, load img, and remount through the
+	// target's recovery path (journal replay, log scan). An error means
+	// recovery itself failed.
+	PowerCycle func(img []byte) error
+	// MetaHash abstracts the target's current state for the oracle,
+	// ignoring file content (data writes are legitimately non-atomic).
+	MetaHash func() (abstraction.State, errno.Errno)
+	// Fsck, when set, reports post-recovery integrity problems.
+	Fsck func() []string
+	// Strict requires the recovered state to equal the pre-op or
+	// post-op state exactly (journaled targets). Non-strict planes only
+	// require recovery to succeed and pass Fsck.
+	Strict bool
+}
+
+// CrashConfig enables crash exploration on the engine.
+type CrashConfig struct {
+	// Planes lists the crash-testable targets.
+	Planes []CrashPlane
+	// PointsPerOp caps sampled crash points per probed operation
+	// (DefaultCrashPointsPerOp when <= 0).
+	PointsPerOp int
+}
+
+// CrashStats counts crash-exploration work for one run.
+type CrashStats struct {
+	// Probes counts (state, operation, target) windows probed.
+	Probes int64
+	// PointsExplored counts crash points actually tested.
+	PointsExplored int64
+	// Recovered counts crash points whose recovery verified clean.
+	Recovered int64
+	// ErrorsInjected/TornInjected/CorruptInjected sum the fault planes'
+	// injection counters.
+	ErrorsInjected  int64
+	TornInjected    int64
+	CorruptInjected int64
+}
+
+// Merge folds other into c (aggregating swarm workers).
+func (c *CrashStats) Merge(other CrashStats) {
+	c.Probes += other.Probes
+	c.PointsExplored += other.PointsExplored
+	c.Recovered += other.Recovered
+	c.ErrorsInjected += other.ErrorsInjected
+	c.TornInjected += other.TornInjected
+	c.CorruptInjected += other.CorruptInjected
+}
+
+// crashPoints samples m write indices out of a window of w writes: all
+// of them when w <= m, otherwise an even spread including 0 and w-1.
+func crashPoints(w, m int) []int {
+	if m <= 0 {
+		m = DefaultCrashPointsPerOp
+	}
+	if w <= m {
+		pts := make([]int, w)
+		for i := range pts {
+			pts[i] = i
+		}
+		return pts
+	}
+	if m == 1 {
+		return []int{w - 1}
+	}
+	pts := make([]int, m)
+	for i := range pts {
+		pts[i] = i * (w - 1) / (m - 1)
+	}
+	return pts
+}
+
+// crashWindow executes op once on the plane's target inside a fault
+// window, with a crash point armed at write k (k < 0: measurement run,
+// nothing armed). It returns the window's write count. The operation's
+// errno is irrelevant here — failing operations have write windows too.
+func crashWindow(cfg *Config, p *CrashPlane, op workload.Op, k int) (int, error) {
+	if err := p.PreOp(); err != nil {
+		return 0, fmt.Errorf("pre-op: %w", err)
+	}
+	p.Injector.StartWindow()
+	if k >= 0 {
+		p.Injector.ArmCrash(k)
+	}
+	workload.Execute(cfg.Kernel, p.Mount, op)
+	err := p.PostOp()
+	p.Injector.EndWindow()
+	if err != nil {
+		p.Injector.Disarm()
+		return 0, fmt.Errorf("post-op: %w", err)
+	}
+	return p.Injector.WindowWrites(), nil
+}
+
+// crashOracle power-cycles the plane on the captured image and judges
+// the recovered state: recovery must succeed, fsck must be clean, and —
+// for strict planes — the recovered metadata state must equal the
+// pre-op (b0) or post-op (b1) state. Returns nil when recovery is
+// consistent.
+func crashOracle(p *CrashPlane, op workload.Op, k, w int, img []byte, b0, b1 abstraction.State) *checker.Discrepancy {
+	where := fmt.Sprintf("%s: crash after write %d/%d of %s", p.Name, k+1, w, op)
+	if err := p.PowerCycle(img); err != nil {
+		return &checker.Discrepancy{
+			Kind: KindCrashConsistency,
+			Op:   op.String(),
+			Details: []string{
+				where,
+				fmt.Sprintf("recovery failed: %v", err),
+			},
+		}
+	}
+	if p.Fsck != nil {
+		if probs := p.Fsck(); len(probs) > 0 {
+			return &checker.Discrepancy{
+				Kind:    KindCrashConsistency,
+				Op:      op.String(),
+				Details: append([]string{where, "fsck after recovery:"}, probs...),
+			}
+		}
+	}
+	if p.Strict {
+		r, er := p.MetaHash()
+		if er != errno.OK {
+			return &checker.Discrepancy{
+				Kind: KindCrashConsistency,
+				Op:   op.String(),
+				Details: []string{
+					where,
+					fmt.Sprintf("hashing recovered state: %v", er),
+				},
+			}
+		}
+		if r != b0 && r != b1 {
+			return &checker.Discrepancy{
+				Kind: KindCrashConsistency,
+				Op:   op.String(),
+				Details: []string{
+					where,
+					"recovered state matches neither the pre-op nor the post-op state",
+					fmt.Sprintf("recovered %x", r[:8]),
+					fmt.Sprintf("pre-op    %x", b0[:8]),
+					fmt.Sprintf("post-op   %x", b1[:8]),
+				},
+			}
+		}
+	}
+	return nil
+}
+
+// crashProbe crash-tests op's write window on every plane, from the
+// current concrete state. Each (state, op, plane) triple is probed once
+// per run. The probe always leaves the target back in its pre-probe
+// state, so the engine's normal step proceeds unchanged.
+func (e *engine) crashProbe(depth int, op workload.Op) error {
+	for i := range e.cfg.Crash.Planes {
+		if !e.budgetLeft() {
+			return nil
+		}
+		p := &e.cfg.Crash.Planes[i]
+		key := fmt.Sprintf("%x|%s|%s", e.curHash[:], op, p.Name)
+		if e.crashSeen[key] {
+			continue
+		}
+		e.crashSeen[key] = true
+		if err := e.probePlane(depth, op, p); err != nil {
+			return fmt.Errorf("mc: crash probe %s: %w", p.Name, err)
+		}
+		if e.bug != nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+// probePlane measures op's write window on one plane, then crash-tests
+// the sampled points.
+func (e *engine) probePlane(depth int, op workload.Op, p *CrashPlane) error {
+	pre, err := p.Snapshot()
+	if err != nil {
+		return err
+	}
+	b0, er := p.MetaHash()
+	if er != errno.OK {
+		return fmt.Errorf("hashing pre-op state: %w", er)
+	}
+	// Measurement run: how many writes does this op perform here?
+	w, err := crashWindow(&e.cfg, p, op, -1)
+	if err != nil {
+		return err
+	}
+	e.countCrashExec()
+	b1, er := p.MetaHash()
+	if er != errno.OK {
+		return fmt.Errorf("hashing post-op state: %w", er)
+	}
+	if err := p.Restore(pre); err != nil {
+		return fmt.Errorf("rolling back measurement run: %w", err)
+	}
+	e.crashStats.Probes++
+
+	points := crashPoints(w, e.cfg.Crash.PointsPerOp)
+	rec := journal.CrashRecord{
+		Target:     p.Target,
+		TargetName: p.Name,
+		Points:     points,
+		Writes:     w,
+		OK:         true,
+	}
+	if e.cfg.Journal.Enabled() {
+		opRec := journal.EncodeOp(op)
+		rec.Op = &opRec
+	}
+	for _, k := range points {
+		if !e.budgetLeft() {
+			break
+		}
+		if _, err := crashWindow(&e.cfg, p, op, k); err != nil {
+			return err
+		}
+		e.countCrashExec()
+		img := p.Injector.TakeCrashImage()
+		if img == nil {
+			// The armed write never happened (a fault rule erred the op
+			// short of write k, or the window shrank): nothing to test.
+			if err := p.Restore(pre); err != nil {
+				return fmt.Errorf("rolling back crash run: %w", err)
+			}
+			continue
+		}
+		e.crashStats.PointsExplored++
+		if e.eobs != nil {
+			e.eobs.crashPoints.Inc()
+		}
+		d := crashOracle(p, op, k, w, img, b0, b1)
+		if err := p.Restore(pre); err != nil {
+			return fmt.Errorf("rolling back crash run: %w", err)
+		}
+		if d != nil {
+			rec.OK = false
+			e.cfg.Journal.Crash(depth, rec)
+			e.report(d, op)
+			e.bug.Crash = &journal.CrashSpec{
+				Target:     p.Target,
+				TargetName: p.Name,
+				Write:      k,
+			}
+			return nil
+		}
+		e.crashStats.Recovered++
+		if e.eobs != nil {
+			e.eobs.crashRecoveries.Inc()
+		}
+	}
+	e.cfg.Journal.Crash(depth, rec)
+	return nil
+}
+
+// countCrashExec charges one probed execution against the op budget —
+// crash probes dominate a crash-exploration run's cost and must respect
+// MaxOps like every other execution.
+func (e *engine) countCrashExec() {
+	e.executed++
+	if e.eobs != nil {
+		e.eobs.ops.Inc()
+	}
+}
+
+// replayCrashSpec re-runs the crash test for one (op, plane, write)
+// triple at the targets' CURRENT state: measure the window, roll back,
+// crash at spec.Write, power-cycle, judge. Returns the discrepancy (nil
+// when recovery is consistent) — the crash-bug analogue of the final
+// check in Replay.
+func replayCrashSpec(cfg Config, op workload.Op, spec *journal.CrashSpec) (*checker.Discrepancy, error) {
+	p := crashPlaneFor(cfg, spec.Target)
+	if p == nil {
+		return nil, fmt.Errorf("mc: crash replay: no crash plane for target %d (session built without crash exploration?)", spec.Target)
+	}
+	pre, err := p.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("mc: crash replay: %w", err)
+	}
+	b0, er := p.MetaHash()
+	if er != errno.OK {
+		return nil, fmt.Errorf("mc: crash replay: hashing pre-op state: %w", er)
+	}
+	w, err := crashWindow(&cfg, p, op, -1)
+	if err != nil {
+		return nil, fmt.Errorf("mc: crash replay: %w", err)
+	}
+	b1, er := p.MetaHash()
+	if er != errno.OK {
+		return nil, fmt.Errorf("mc: crash replay: hashing post-op state: %w", er)
+	}
+	if err := p.Restore(pre); err != nil {
+		return nil, fmt.Errorf("mc: crash replay: %w", err)
+	}
+	if spec.Write >= w {
+		return nil, nil // window shrank below the recorded crash point
+	}
+	if _, err := crashWindow(&cfg, p, op, spec.Write); err != nil {
+		return nil, fmt.Errorf("mc: crash replay: %w", err)
+	}
+	img := p.Injector.TakeCrashImage()
+	if img == nil {
+		if err := p.Restore(pre); err != nil {
+			return nil, fmt.Errorf("mc: crash replay: %w", err)
+		}
+		return nil, nil
+	}
+	d := crashOracle(p, op, spec.Write, w, img, b0, b1)
+	if err := p.Restore(pre); err != nil {
+		return nil, fmt.Errorf("mc: crash replay: %w", err)
+	}
+	return d, nil
+}
+
+func crashPlaneFor(cfg Config, target int) *CrashPlane {
+	if cfg.Crash == nil {
+		return nil
+	}
+	for i := range cfg.Crash.Planes {
+		if cfg.Crash.Planes[i].Target == target {
+			return &cfg.Crash.Planes[i]
+		}
+	}
+	return nil
+}
+
+// ReplayCrash replays a crash-bug trail: the prefix executes normally on
+// every target (exactly as Replay does), then the FINAL operation is
+// crash-tested on the spec'd target at the spec'd write index. Returns
+// the first discrepancy observed — a prefix discrepancy counts (the
+// trail diverged before the crash point), otherwise the crash oracle's
+// verdict.
+func ReplayCrash(cfg Config, trail []workload.Op, spec *journal.CrashSpec) (*checker.Discrepancy, error) {
+	if len(trail) == 0 {
+		return nil, fmt.Errorf("mc: crash replay: empty trail")
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("mc: crash replay: nil crash spec")
+	}
+	prefix, final := trail[:len(trail)-1], trail[len(trail)-1]
+	if d, err := Replay(cfg, prefix); err != nil || d != nil {
+		return d, err
+	}
+	return replayCrashSpec(cfg, final, spec)
+}
+
+// VerifyCrashTrail replays a crash-bug trail (ReplayCrash) and reports
+// whether it reproduces the wanted discrepancy: any discrepancy when
+// want is nil, otherwise one of the same kind.
+func VerifyCrashTrail(cfg Config, trail []workload.Op, spec *journal.CrashSpec, want *checker.Discrepancy) (*checker.Discrepancy, bool, error) {
+	got, err := ReplayCrash(cfg, trail, spec)
+	if err != nil {
+		return nil, false, err
+	}
+	same := got != nil && (want == nil || got.Kind == want.Kind)
+	return got, same, nil
+}

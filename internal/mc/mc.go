@@ -22,6 +22,7 @@ package mc
 
 import (
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"mcfs/internal/checker"
@@ -94,6 +95,12 @@ type Config struct {
 	// bug found are appended as journal records, replayable with
 	// ReplayJournal. Nil-safe: a nil recorder costs one branch per op.
 	Journal *journal.Recorder
+	// Crash, when set, enables crash-consistency exploration: before
+	// each operation is stepped normally, its write window is probed on
+	// every crash plane — the op runs under an armed crash point, power
+	// loss is simulated with the captured media image, and the recovered
+	// state is checked against the prefix-consistency oracle (crash.go).
+	Crash *CrashConfig
 }
 
 // BugReport is a discrepancy plus the trail that produced it.
@@ -109,6 +116,10 @@ type BugReport struct {
 	// LayerMC span per trail operation, with kernel/fs/tracker/checker
 	// child spans. Populated only when Config.Obs was set.
 	TrailSpans []obs.Span
+	// Crash, when set, marks a crash-consistency bug: the trail's final
+	// operation must be crash-tested at the spec'd target and write
+	// index (ReplayCrash) instead of executed normally.
+	Crash *journal.CrashSpec
 }
 
 // Error renders the report.
@@ -144,6 +155,9 @@ type Result struct {
 	// Resume carries the exploration's visited-state knowledge so a
 	// later run can continue after an interruption (§7 future work).
 	Resume *ResumeState
+	// Crash counts crash-exploration work (zero unless Config.Crash was
+	// set): probes, points tested, recoveries verified, faults injected.
+	Crash CrashStats
 }
 
 // Coverage aggregates operation and outcome counts for one run.
@@ -254,16 +268,28 @@ type engine struct {
 	// lastErrnos is the per-target errno scratch of the most recent
 	// step, populated only when a journal recorder is attached.
 	lastErrnos []string
+
+	// curHash is the abstract hash of the CURRENT concrete state (the
+	// state every dfs iteration explores from); crash probes key their
+	// dedup on it. Maintained only when crash exploration is on.
+	curHash abstraction.State
+	// crashSeen dedups crash probes: one probe per (state, op, plane).
+	crashSeen map[string]bool
+	// crashStats accumulates this run's crash-exploration counters.
+	crashStats CrashStats
 }
 
 // engineObs holds the engine's pre-resolved observability handles, so
 // the hot path pays map lookups once, at Run start.
 type engineObs struct {
-	hub    *obs.Hub
-	ops    *obs.Counter
-	hits   *obs.Counter
-	misses *obs.Counter
-	depth  *obs.Gauge
+	hub             *obs.Hub
+	ops             *obs.Counter
+	hits            *obs.Counter
+	misses          *obs.Counter
+	depth           *obs.Gauge
+	panics          *obs.Counter
+	crashPoints     *obs.Counter
+	crashRecoveries *obs.Counter
 
 	// lastStep is the span collection of the most recent operation;
 	// trailTraces mirrors engine.trail with each trail op's collection,
@@ -319,12 +345,18 @@ func Run(cfg Config) Result {
 	}
 	if cfg.Obs != nil {
 		e.eobs = &engineObs{
-			hub:    cfg.Obs,
-			ops:    cfg.Obs.Counter(obs.MetricOps),
-			hits:   cfg.Obs.Counter(obs.MetricVisitedHits),
-			misses: cfg.Obs.Counter(obs.MetricVisitedMisses),
-			depth:  cfg.Obs.Gauge(obs.MetricDepth),
+			hub:             cfg.Obs,
+			ops:             cfg.Obs.Counter(obs.MetricOps),
+			hits:            cfg.Obs.Counter(obs.MetricVisitedHits),
+			misses:          cfg.Obs.Counter(obs.MetricVisitedMisses),
+			depth:           cfg.Obs.Gauge(obs.MetricDepth),
+			panics:          cfg.Obs.Counter(obs.MetricPanics),
+			crashPoints:     cfg.Obs.Counter(obs.MetricCrashPoints),
+			crashRecoveries: cfg.Obs.Counter(obs.MetricCrashRecoveries),
 		}
+	}
+	if cfg.Crash != nil {
+		e.crashSeen = make(map[string]bool)
 	}
 	if cfg.SharedVisited != nil {
 		// Shared-table mode: resumed knowledge seeds the swarm-wide
@@ -355,6 +387,7 @@ func Run(cfg Config) Result {
 		res.Err = fmt.Errorf("mc: hashing initial state: %w", er)
 		return res
 	}
+	e.curHash = h
 	novel := true
 	if cfg.SharedVisited != nil {
 		novel, _ = cfg.SharedVisited.Visit(h, 0)
@@ -388,7 +421,7 @@ func Run(cfg Config) Result {
 		})
 	}
 
-	err := e.dfs(0)
+	err := e.explore()
 
 	res.Ops = e.executed
 	res.UniqueStates = e.unique
@@ -398,6 +431,15 @@ func Run(cfg Config) Result {
 	res.Canceled = e.canceled
 	res.finalize(clock.Now() - start)
 	res.Coverage = e.coverage
+	if cfg.Crash != nil {
+		res.Crash = e.crashStats
+		for i := range cfg.Crash.Planes {
+			st := cfg.Crash.Planes[i].Injector.Stats()
+			res.Crash.ErrorsInjected += st.ErrorsInjected
+			res.Crash.TornInjected += st.TornInjected
+			res.Crash.CorruptInjected += st.CorruptInjected
+		}
+	}
 	if cfg.Journal.Enabled() {
 		done := journal.DoneRecord{
 			Ops:          e.executed,
@@ -422,6 +464,45 @@ func Run(cfg Config) Result {
 		res.Resume = resume
 	}
 	return res
+}
+
+// PanicError is a target (or tracker/checker) panic converted into an
+// engine failure. The engine runs arbitrary file-system code under test;
+// a panicking target must produce a failed Result with the partial trail
+// that triggered it — not kill the process (or a whole swarm).
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at recovery time.
+	Stack string
+	// Trail is the operation prefix being explored when the target
+	// panicked (the panicking operation itself is not yet appended).
+	Trail []workload.Op
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("mc: target panicked: %v (exploring a trail of %d ops)\n%s",
+		p.Value, len(p.Trail), p.Stack)
+}
+
+// explore runs the DFS with panic isolation: a panic anywhere under the
+// engine (targets, trackers, checker) becomes a PanicError carrying the
+// partial trail, fires the cancellation token so swarm peers stop, and
+// counts under obs.MetricPanics.
+func (e *engine) explore() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			trail := make([]workload.Op, len(e.trail))
+			copy(trail, e.trail)
+			err = &PanicError{Value: r, Stack: string(debug.Stack()), Trail: trail}
+			if e.eobs != nil {
+				e.eobs.panics.Inc()
+			}
+			e.cfg.Cancel.Cancel("target panicked")
+		}
+	}()
+	return e.dfs(0)
 }
 
 // finalize derives the run's aggregate fields from its raw counters.
@@ -561,8 +642,19 @@ func (e *engine) dfs(depth int) error {
 		}
 		if err == nil {
 			e.storeStateCost()
-			if err = e.step(op); err != nil {
-				e.discardCheckpoints(key, e.cfg.Trackers)
+			// Crash exploration probes the op's write window (and leaves
+			// the concrete state untouched) before the op is stepped
+			// normally; a probe that finds an inconsistent recovery
+			// reports the bug and skips the normal step.
+			if e.cfg.Crash != nil {
+				if err = e.crashProbe(depth, op); err != nil {
+					e.discardCheckpoints(key, e.cfg.Trackers)
+				}
+			}
+			if err == nil && e.bug == nil {
+				if err = e.step(op); err != nil {
+					e.discardCheckpoints(key, e.cfg.Trackers)
+				}
 			}
 		}
 		e.endOp(sp)
@@ -574,14 +666,19 @@ func (e *engine) dfs(depth int) error {
 			if e.cfg.Journal.Enabled() {
 				// The bug op gets no state hash (the discrepancy halts
 				// hashing); the bug record that follows carries the
-				// trail and forces the journal to stable storage.
-				e.cfg.Journal.Op(depth, journal.EncodeOp(op), e.lastErrnos, "", false, false)
+				// trail and forces the journal to stable storage. A
+				// crash bug's op was never stepped normally — its probe
+				// already journaled a crash record instead.
+				if e.bug.Crash == nil {
+					e.cfg.Journal.Op(depth, journal.EncodeOp(op), e.lastErrnos, "", false, false)
+				}
 				e.cfg.Journal.Bug(journal.BugRecord{
 					Kind:        e.bug.Discrepancy.Kind,
 					Op:          e.bug.Discrepancy.Op,
 					Details:     e.bug.Discrepancy.Details,
 					Trail:       journal.EncodeTrail(e.bug.Trail),
 					OpsExecuted: e.bug.OpsExecuted,
+					Crash:       e.bug.Crash,
 				})
 			}
 		}
@@ -628,10 +725,13 @@ func (e *engine) dfs(depth int) error {
 				if e.eobs != nil {
 					e.eobs.trailTraces = append(e.eobs.trailTraces, e.eobs.lastStep)
 				}
+				parentHash := e.curHash
+				e.curHash = h
 				if err := e.dfs(childDepth); err != nil {
 					e.discardCheckpoints(key, e.cfg.Trackers)
 					return err
 				}
+				e.curHash = parentHash
 				e.trail = e.trail[:len(e.trail)-1]
 				if e.eobs != nil {
 					e.eobs.trailTraces = e.eobs.trailTraces[:len(e.eobs.trailTraces)-1]

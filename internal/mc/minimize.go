@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"mcfs/internal/checker"
+	"mcfs/internal/obs/journal"
 	"mcfs/internal/workload"
 )
 
@@ -20,6 +21,12 @@ type MinimizeOptions struct {
 	// Minimization returns the best trail found so far when the cap is
 	// hit, never an error.
 	MaxReplays int
+	// Crash, when set, marks the trail as a crash-bug repro: the final
+	// operation is the one whose write window crashes, so it is pinned —
+	// ddmin shrinks only the prefix, and every candidate is verified with
+	// VerifyCrashTrail against this spec instead of VerifyTrail. The
+	// minimal repro can be the crash op alone.
+	Crash *journal.CrashSpec
 }
 
 // DefaultMaxReplays bounds minimization work: ddmin on a trail of n ops
@@ -57,6 +64,15 @@ func Minimize(factory func() (Config, func(), error), trail []workload.Op,
 	}
 	stats := MinimizeStats{From: len(trail), To: len(trail)}
 
+	// Crash-bug trails pin the final (crashing) op: ddmin works on the
+	// prefix only, and the empty prefix is a legal candidate.
+	body, final := trail, []workload.Op(nil)
+	minBody := 2
+	if opts.Crash != nil && len(trail) > 0 {
+		body, final = trail[:len(trail)-1], trail[len(trail)-1:]
+		minBody = 1
+	}
+
 	test := func(candidate []workload.Op) (bool, error) {
 		if stats.Replays >= maxReplays {
 			return false, errReplayBudget
@@ -69,14 +85,23 @@ func Minimize(factory func() (Config, func(), error), trail []workload.Op,
 		if cleanup != nil {
 			defer cleanup()
 		}
-		_, same, err := VerifyTrail(cfg, candidate, want)
+		full := candidate
+		if len(final) > 0 {
+			full = append(append([]workload.Op(nil), candidate...), final...)
+		}
+		var same bool
+		if opts.Crash != nil {
+			_, same, err = VerifyCrashTrail(cfg, full, opts.Crash, want)
+		} else {
+			_, same, err = VerifyTrail(cfg, full, want)
+		}
 		if err != nil {
 			return false, fmt.Errorf("mc: minimize replay: %w", err)
 		}
 		return same, nil
 	}
 
-	ok, err := test(trail)
+	ok, err := test(body)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -84,10 +109,13 @@ func Minimize(factory func() (Config, func(), error), trail []workload.Op,
 		return nil, stats, fmt.Errorf("mc: minimize: trail of %d ops does not reproduce the discrepancy", len(trail))
 	}
 
-	cur := append([]workload.Op(nil), trail...)
+	cur := append([]workload.Op(nil), body...)
 	n := 2
+	if n > len(cur) && len(cur) >= minBody {
+		n = len(cur)
+	}
 	budgetHit := false
-	for len(cur) >= 2 && n <= len(cur) {
+	for len(cur) >= minBody && n <= len(cur) {
 		reduced := false
 		chunk := (len(cur) + n - 1) / n
 		for start := 0; start < len(cur); start += chunk {
@@ -135,9 +163,10 @@ func Minimize(factory func() (Config, func(), error), trail []workload.Op,
 			}
 		}
 	}
-	if len(cur) == 1 {
+	if len(cur) < minBody {
 		stats.Minimal = !budgetHit
 	}
+	cur = append(cur, final...)
 	stats.To = len(cur)
 	return cur, stats, nil
 }

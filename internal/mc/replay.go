@@ -179,6 +179,42 @@ func ReplayJournal(cfg Config, recs []journal.Record) (ReplayReport, error) {
 				}
 			}
 
+		case journal.TypeCrash:
+			if rec.Crash == nil {
+				return rep, fmt.Errorf("mc: journal record %d: crash record without crash data", rec.Seq)
+			}
+			if cfg.Crash == nil || rec.Crash.Op == nil {
+				// The replay session was built without crash exploration
+				// (or the recording ran without an op journal): the probe
+				// cannot be re-run, so its verdict is taken on trust.
+				continue
+			}
+			op, err := rec.Crash.Op.Decode()
+			if err != nil {
+				return rep, fmt.Errorf("mc: journal record %d: %w", rec.Seq, err)
+			}
+			d, err := replayCrashRecord(cfg, op, rec.Crash)
+			if err != nil {
+				return rep, fmt.Errorf("mc: journal record %d: %w", rec.Seq, err)
+			}
+			if okNow := d == nil; okNow != rec.Crash.OK {
+				rep.Diverged = true
+				rep.DivergedAt = rec.Seq
+				if okNow {
+					rep.Reason = fmt.Sprintf("crash probe of %s on %s recovered cleanly, journal recorded a crash bug",
+						op, rec.Crash.TargetName)
+				} else {
+					rep.Reason = fmt.Sprintf("crash probe of %s on %s found %q, journal recorded clean recovery",
+						op, rec.Crash.TargetName, d.Kind)
+				}
+				return rep, nil
+			}
+			if d != nil {
+				// The recorded crash bug re-occurred; the bug record that
+				// follows verifies the kind and closes the replay.
+				rep.Bug = d
+			}
+
 		case journal.TypeBug:
 			if rec.Bug == nil {
 				return rep, fmt.Errorf("mc: journal record %d: bug record without bug", rec.Seq)
@@ -201,6 +237,60 @@ func ReplayJournal(cfg Config, recs []journal.Record) (ReplayReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// replayCrashRecord re-runs a journaled crash probe at the targets'
+// current state: measure op's write window on the recorded plane, roll
+// back, and crash-test every recorded point that still falls inside the
+// window. Returns the first discrepancy (nil when every point recovers
+// cleanly), always leaving the target in its pre-probe state.
+func replayCrashRecord(cfg Config, op workload.Op, rec *journal.CrashRecord) (*checker.Discrepancy, error) {
+	p := crashPlaneFor(cfg, rec.Target)
+	if p == nil {
+		return nil, fmt.Errorf("no crash plane for target %d (%s)", rec.Target, rec.TargetName)
+	}
+	pre, err := p.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	b0, er := p.MetaHash()
+	if er != errno.OK {
+		return nil, fmt.Errorf("hashing pre-op state: %w", er)
+	}
+	w, err := crashWindow(&cfg, p, op, -1)
+	if err != nil {
+		return nil, err
+	}
+	b1, er := p.MetaHash()
+	if er != errno.OK {
+		return nil, fmt.Errorf("hashing post-op state: %w", er)
+	}
+	if err := p.Restore(pre); err != nil {
+		return nil, fmt.Errorf("rolling back measurement run: %w", err)
+	}
+	for _, k := range rec.Points {
+		if k >= w {
+			continue
+		}
+		if _, err := crashWindow(&cfg, p, op, k); err != nil {
+			return nil, err
+		}
+		img := p.Injector.TakeCrashImage()
+		if img == nil {
+			if err := p.Restore(pre); err != nil {
+				return nil, fmt.Errorf("rolling back crash run: %w", err)
+			}
+			continue
+		}
+		d := crashOracle(p, op, k, w, img, b0, b1)
+		if err := p.Restore(pre); err != nil {
+			return nil, fmt.Errorf("rolling back crash run: %w", err)
+		}
+		if d != nil {
+			return d, nil
+		}
+	}
+	return nil, nil
 }
 
 // replayCheck runs the engine's post-op checks (results first, then the

@@ -23,6 +23,7 @@ package mc
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -281,6 +282,9 @@ type SwarmResult struct {
 	// Resume is the swarm's merged visited knowledge (shared-table
 	// export, or the per-worker union), ready to seed a later run.
 	Resume *ResumeState
+	// Crash merges the per-worker crash-exploration statistics; zero
+	// when no worker ran with crash exploration enabled.
+	Crash CrashStats
 	// Metrics merges the per-worker observability hub snapshots
 	// (obs.Merge); zero-valued when no worker Config carried a hub.
 	Metrics obs.Snapshot
@@ -370,7 +374,7 @@ func SwarmRun(opts SwarmOptions, factory func(seed int64) (Config, error)) (Swar
 				cfg.Journal = opts.Journal.Recorder(w + 1)
 			}
 			hubs[w] = cfg.Obs
-			res := Run(cfg)
+			res := runWorker(cfg)
 			results[w] = res
 			if res.Bug != nil {
 				mu.Lock()
@@ -416,6 +420,28 @@ func SwarmRun(opts SwarmOptions, factory func(seed int64) (Config, error)) (Swar
 	return sr, nil
 }
 
+// runWorker runs one swarm worker with a panic backstop. The engine
+// already isolates panics raised inside exploration (explore's recover
+// turns them into a PanicError carrying the partial trail), but a panic
+// in Run's setup or finalization — a broken factory Config, a tracker
+// panicking during final restore — would otherwise tear down the whole
+// swarm process. The backstop converts it into a failed Result and
+// cancels the peers cleanly; the coordinator's drain discipline then
+// applies as for any engine failure.
+func runWorker(cfg Config) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			perr := &PanicError{Value: r, Stack: string(debug.Stack())}
+			if cfg.Obs != nil {
+				cfg.Obs.Counter(obs.MetricPanics).Inc()
+			}
+			cfg.Cancel.Cancel("worker panicked")
+			res.Err = perr
+		}
+	}()
+	return Run(cfg)
+}
+
 // mergeSwarm folds the per-worker results into the swarm-level sums,
 // merged coverage, merged resume knowledge, and duplicate-state count.
 func mergeSwarm(opts SwarmOptions, results []Result, shared *SharedVisited) SwarmResult {
@@ -430,6 +456,7 @@ func mergeSwarm(opts SwarmOptions, results []Result, shared *SharedVisited) Swar
 		if r.Elapsed > sr.Elapsed {
 			sr.Elapsed = r.Elapsed
 		}
+		sr.Crash.Merge(r.Crash)
 	}
 	if shared != nil {
 		sr.Resume = shared.Export()

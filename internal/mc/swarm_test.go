@@ -16,6 +16,7 @@ import (
 	"mcfs/internal/abstraction"
 	"mcfs/internal/mc"
 	"mcfs/internal/memmodel"
+	"mcfs/internal/obs"
 	"mcfs/internal/simclock"
 	"mcfs/internal/tracker"
 )
@@ -571,5 +572,139 @@ func TestSwarmSharedTableChargedToSessionModels(t *testing.T) {
 		if st.Entries != 0 {
 			t.Errorf("session %d: local visited table grew to %d entries in shared mode", i, st.Entries)
 		}
+	}
+}
+
+// --- Coordinated swarm: worker panic isolation ------------------------------
+
+// panicTracker panics on its Nth PreOp call — simulating a file system
+// under test blowing up mid-operation.
+type panicTracker struct {
+	tracker.Tracker
+	mu      sync.Mutex
+	calls   int
+	panicAt int
+}
+
+func (p *panicTracker) PreOp() error {
+	p.mu.Lock()
+	p.calls++
+	n := p.calls
+	p.mu.Unlock()
+	if n >= p.panicAt {
+		panic(fmt.Sprintf("panicTracker: injected panic (call %d)", n))
+	}
+	return p.Tracker.PreOp()
+}
+
+// TestSwarmWorkerPanicIsolated: a panicking target must not kill the
+// swarm process. The panicking worker ends with a failed Result carrying
+// a *mc.PanicError (panic value + partial trail), its peers are canceled
+// promptly, and no goroutine leaks.
+func TestSwarmWorkerPanicIsolated(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var mu sync.Mutex
+	var sessions []*mcfs.Session
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+
+	sr, err := mc.SwarmRun(mc.SwarmOptions{Workers: 2}, func(seed int64) (mc.Config, error) {
+		s, err := mcfs.NewSession(mcfs.Options{
+			Targets:  []mcfs.TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
+			MaxDepth: 3,
+			MaxOps:   500000, // peers run long unless canceled
+			Seed:     seed,
+		})
+		if err != nil {
+			return mc.Config{}, err
+		}
+		mu.Lock()
+		sessions = append(sessions, s)
+		mu.Unlock()
+		cfg := *s.Config()
+		if seed == 1 {
+			cfg.Trackers = append([]tracker.Tracker(nil), cfg.Trackers...)
+			cfg.Trackers[0] = &panicTracker{Tracker: cfg.Trackers[0], panicAt: 5}
+		}
+		return cfg, nil
+	})
+	if err != nil {
+		t.Fatalf("SwarmRun: %v", err)
+	}
+	if sr.Err == nil {
+		t.Fatal("swarm reports no error despite a panicking worker")
+	}
+	var pe *mc.PanicError
+	if !errors.As(sr.Err, &pe) {
+		t.Fatalf("swarm error = %T %v, want *mc.PanicError", sr.Err, sr.Err)
+	}
+	if pe.Stack == "" {
+		t.Error("PanicError carries no stack")
+	}
+	if sr.ErrWorker != 0 {
+		t.Errorf("ErrWorker = %d, want 0 (seed 1)", sr.ErrWorker)
+	}
+	// No worker goroutines may outlive SwarmRun. Close the sessions
+	// first — their FUSE servers hold goroutines of their own.
+	mu.Lock()
+	for _, s := range sessions {
+		s.Close()
+	}
+	sessions = nil
+	mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after panicking worker", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+
+// TestPanicProducesPartialTrail pins the PanicError contract at the
+// engine level with a deterministic crash site: a single-op pool whose
+// DFS descends immediately (create at depth 0, EEXIST-prune at depth 1),
+// with the tracker panicking on its second PreOp — depth 1, one op on
+// the trail. The partial trail and the mc.panics metric must both
+// survive the recover.
+func TestPanicProducesPartialTrail(t *testing.T) {
+	hub := obs.New(obs.Options{})
+	s, err := mcfs.NewSession(mcfs.Options{
+		Targets: []mcfs.TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
+		Pool: &mcfs.Pool{
+			Files: []string{"/f0"},
+			Ops:   []mcfs.OpKind{mcfs.OpCreateFile},
+		},
+		MaxDepth: 3,
+		Obs:      hub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cfg := *s.Config()
+	cfg.Trackers = append([]tracker.Tracker(nil), cfg.Trackers...)
+	cfg.Trackers[0] = &panicTracker{Tracker: cfg.Trackers[0], panicAt: 2}
+
+	res := mc.Run(cfg)
+	var pe *mc.PanicError
+	if !errors.As(res.Err, &pe) {
+		t.Fatalf("Run error = %T %v, want *mc.PanicError", res.Err, res.Err)
+	}
+	if len(pe.Trail) != 1 {
+		t.Errorf("partial trail = %v, want the one committed create", pe.Trail)
+	}
+	if got := hub.Snapshot().Counters[obs.MetricPanics]; got != 1 {
+		t.Errorf("mc.panics = %d, want 1", got)
 	}
 }

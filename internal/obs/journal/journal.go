@@ -60,6 +60,10 @@ const (
 	TypeBacktrack = "bt"
 	// TypeBug carries the discrepancy and its full trail.
 	TypeBug = "bug"
+	// TypeCrash records one crash-consistency probe: the operation whose
+	// write window was crash-tested, the crash points sampled, and the
+	// verdict.
+	TypeCrash = "crash"
 	// TypeDone closes a worker's journal with the run's counters.
 	TypeDone = "done"
 )
@@ -152,6 +156,39 @@ type BugRecord struct {
 	Trail []OpRecord `json:"trail"`
 	// OpsExecuted counts operations executed up to detection.
 	OpsExecuted int64 `json:"ops_executed"`
+	// Crash, when set, marks a crash-consistency bug: the trail's final
+	// operation must be crash-tested at Crash.Write instead of executed
+	// normally.
+	Crash *CrashSpec `json:"crash,omitempty"`
+}
+
+// CrashSpec pins the crash point of a crash-consistency bug: the write
+// (by in-window index) of the trail's FINAL operation at which power was
+// cut on the named target. Together with the trail it makes the bug
+// deterministically replayable.
+type CrashSpec struct {
+	// Target is the index of the crash-tested target in the run's
+	// target list; TargetName is its human name (e.g. "ext4#1").
+	Target     int    `json:"target"`
+	TargetName string `json:"target_name,omitempty"`
+	// Write is the in-window write index after which the crash image was
+	// captured (write 0 = crash after the first block write of the op).
+	Write int `json:"write"`
+}
+
+// CrashRecord journals one crash-consistency probe of an operation.
+type CrashRecord struct {
+	// Op is the operation whose write window was probed.
+	Op *OpRecord `json:"op,omitempty"`
+	// Target/TargetName identify the probed target.
+	Target     int    `json:"target"`
+	TargetName string `json:"target_name,omitempty"`
+	// Points lists the in-window write indices crash-tested.
+	Points []int `json:"points,omitempty"`
+	// Writes is the total number of device writes the window performed.
+	Writes int `json:"writes"`
+	// OK reports that every sampled crash point recovered consistently.
+	OK bool `json:"ok"`
 }
 
 // DoneRecord closes a worker's journal with its final counters.
@@ -180,9 +217,10 @@ type Record struct {
 	Novel  bool      `json:"novel,omitempty"`
 	Expand bool      `json:"expand,omitempty"`
 
-	Meta *Meta       `json:"meta,omitempty"`
-	Bug  *BugRecord  `json:"bug,omitempty"`
-	Done *DoneRecord `json:"done,omitempty"`
+	Meta  *Meta        `json:"meta,omitempty"`
+	Bug   *BugRecord   `json:"bug,omitempty"`
+	Crash *CrashRecord `json:"crash,omitempty"`
+	Done  *DoneRecord  `json:"done,omitempty"`
 }
 
 // DefaultFlushEvery is the record batch size between flushes.
@@ -403,6 +441,17 @@ func (r *Recorder) Backtrack(depth int) {
 		return
 	}
 	rec := Record{T: TypeBacktrack, Depth: depth}
+	r.stamp(&rec)
+	r.w.Append(rec)
+}
+
+// Crash records one crash-consistency probe of an operation's write
+// window at the given DFS depth.
+func (r *Recorder) Crash(depth int, c CrashRecord) {
+	if r == nil {
+		return
+	}
+	rec := Record{T: TypeCrash, Depth: depth, Crash: &c}
 	r.stamp(&rec)
 	r.w.Append(rec)
 }

@@ -53,6 +53,12 @@ const (
 	// MetricStallWarnings counts progress-reporter stall warnings (no
 	// globally-novel state within the configured operation window).
 	MetricStallWarnings = "mc.stall.warnings"
+	// MetricPanics counts target panics the engine isolated.
+	MetricPanics = "mc.panics"
+	// MetricCrashPoints counts crash points explored.
+	MetricCrashPoints = "mc.crash.points"
+	// MetricCrashRecoveries counts crash recoveries that verified clean.
+	MetricCrashRecoveries = "mc.crash.recoveries"
 )
 
 // Span layers used by the instrumented components, outermost first:

@@ -40,8 +40,10 @@ import (
 	"fmt"
 	"sync"
 
+	"mcfs/internal/abstraction"
 	"mcfs/internal/blockdev"
 	"mcfs/internal/checker"
+	"mcfs/internal/fault"
 	"mcfs/internal/errno"
 	"mcfs/internal/fs/extfs"
 	"mcfs/internal/fs/jffs2sim"
@@ -90,6 +92,12 @@ type (
 	ReplayReport = mc.ReplayReport
 	// MinimizeStats reports what a trail minimization did.
 	MinimizeStats = mc.MinimizeStats
+	// CrashStats counts crash-exploration work (probes, points, clean
+	// recoveries, injected faults) for a run or merged swarm.
+	CrashStats = mc.CrashStats
+	// CrashSpec pins a crash bug to (target, write index); carried by
+	// BugReport.Crash and bug-repro bundles.
+	CrashSpec = journal.CrashSpec
 )
 
 // NewCancel returns a fresh cancellation token for aborting a swarm.
@@ -141,6 +149,11 @@ const (
 	// BugSizeUpdateOnOverflow: VeriFS2 updates the file size only when a
 	// write grows the file beyond its allocated capacity.
 	BugSizeUpdateOnOverflow = "size-update-on-overflow"
+	// BugJournalCommitFirst (ext4 only): the journal writes its commit
+	// block before the descriptor and metadata images, so a crash between
+	// commit and images makes recovery replay garbage. Invisible without
+	// crash exploration — the volume is consistent whenever it is synced.
+	BugJournalCommitFirst = "journal-commit-first"
 )
 
 // TargetSpec describes one file system under test.
@@ -152,7 +165,8 @@ type TargetSpec struct {
 	// DeviceSize overrides the default device size (256 KiB for ext,
 	// 16 MiB for xfs, 256 KiB MTD for jffs2).
 	DeviceSize int64
-	// Bugs seeds the named defects (VeriFS kinds only).
+	// Bugs seeds the named defects (VeriFS kinds, plus
+	// BugJournalCommitFirst on ext4).
 	Bugs []string
 	// DisablePerOpRemount turns off the default unmount/remount around
 	// every operation for kernel file systems (the §6 ablation).
@@ -202,6 +216,17 @@ type Options struct {
 	// replayable journal record (worker id 0 for a single session). Nil
 	// disables journaling at one branch per operation.
 	Journal *journal.Writer
+	// CrashExploration enables crash-consistency checking: before each
+	// explored operation is committed, its write window is crash-tested
+	// on every crash-testable target — simulate power loss at sampled
+	// write indices, remount through the recovery path, and verify the
+	// recovered state against the prefix-consistency oracle. Requires at
+	// least one ext2/ext4/jffs2 target with per-op remounts and full
+	// state tracking.
+	CrashExploration bool
+	// CrashPointsPerOp caps sampled crash points per probed operation
+	// (mc.DefaultCrashPointsPerOp when 0).
+	CrashPointsPerOp int
 }
 
 // Session is an assembled model-checking run: a simulated kernel with
@@ -215,6 +240,9 @@ type Session struct {
 	cfg      mc.Config
 	mem      *memmodel.Model
 	obsHub   *obs.Hub
+
+	crash       bool // crash exploration requested
+	crashPlanes []mc.CrashPlane
 }
 
 // NewSession builds a session: devices are created and formatted, file
@@ -226,7 +254,7 @@ func NewSession(opts Options) (*Session, error) {
 	}
 	clock := simclock.New()
 	k := kernel.New(clock)
-	s := &Session{clock: clock, kern: k, obsHub: opts.Obs}
+	s := &Session{clock: clock, kern: k, obsHub: opts.Obs, crash: opts.CrashExploration}
 	// Rebase the hub onto this session's virtual clock so every span and
 	// latency observation is in deterministic virtual time.
 	opts.Obs.SetNow(clock.Now)
@@ -296,10 +324,20 @@ func NewSession(opts Options) (*Session, error) {
 		Obs:               opts.Obs,
 		Journal:           opts.Journal.Recorder(0),
 	}
+	if opts.CrashExploration {
+		if len(s.crashPlanes) == 0 {
+			s.Close()
+			return nil, fmt.Errorf("mcfs: crash exploration needs at least one crash-testable target: ext2, ext4, or jffs2 with per-op remounts and full state tracking")
+		}
+		s.cfg.Crash = &mc.CrashConfig{
+			Planes:      s.crashPlanes,
+			PointsPerOp: opts.CrashPointsPerOp,
+		}
+	}
 	return s, nil
 }
 
-func (s *Session) deviceFor(name string, ts TargetSpec, size int64) blockdev.Device {
+func (s *Session) deviceFor(name string, ts TargetSpec, size int64) *blockdev.Disk {
 	profile := blockdev.RAMProfile
 	switch ts.Backing {
 	case BackingSSD:
@@ -312,6 +350,60 @@ func (s *Session) deviceFor(name string, ts TargetSpec, size int64) blockdev.Dev
 	return d
 }
 
+// crashEligible reports whether ts can host a crash plane: the probe's
+// remount bracketing and power-cycle semantics require per-op remounts
+// and full (device-level) state tracking.
+func crashEligible(ts TargetSpec) bool {
+	return !ts.DisablePerOpRemount && !ts.DiskOnlyTracking
+}
+
+// addCrashPlane installs one crash-testing surface for the target at
+// idx: snapshot/load access the target's media (the block device, or the
+// MTD behind the mtdblock bridge), and strict/fsck encode how much the
+// target guarantees after a power cut — ext4's journal promises the
+// pre-op or post-op state exactly, ext2 and jffs2 only promise a
+// mountable, recoverable volume.
+func (s *Session) addCrashPlane(idx int, point string, ts TargetSpec, inj *fault.Injector,
+	spec kernel.FilesystemSpec, snapshot func() ([]byte, error), load func([]byte) error,
+	strict bool, fsck func() []string) {
+
+	k := s.kern
+	s.crashPlanes = append(s.crashPlanes, mc.CrashPlane{
+		Target:   idx,
+		Name:     fmt.Sprintf("%s#%d", ts.Kind, idx),
+		Mount:    point,
+		Injector: inj,
+		PreOp:    func() error { return k.Remount(point) },
+		PostOp:   func() error { return k.Remount(point) },
+		Snapshot: snapshot,
+		Restore: func(img []byte) error {
+			// A failed recovery leaves the point unmounted; roll the media
+			// back regardless and mount fresh.
+			if m, _, e := k.MountAt(point); e == errno.OK && m.Point() == point {
+				if err := k.Unmount(point); err != nil {
+					return err
+				}
+			}
+			if err := load(img); err != nil {
+				return err
+			}
+			return k.Mount(point, spec, kernel.MountOptions{})
+		},
+		PowerCycle: func(img []byte) error {
+			return k.CrashRemount(point, func() error { return load(img) })
+		},
+		MetaHash: func() (abstraction.State, errno.Errno) {
+			// Ignore file content: data writes are legitimately
+			// non-atomic under metadata journaling.
+			opts := s.check.AbstractionOptions()
+			opts.IgnoreContent = true
+			return abstraction.Hash(k, point, opts)
+		},
+		Fsck:   fsck,
+		Strict: strict,
+	})
+}
+
 func (s *Session) mountTarget(point string, ts TargetSpec, idx int) error {
 	clock := s.clock
 	k := s.kern
@@ -321,16 +413,47 @@ func (s *Session) mountTarget(point string, ts TargetSpec, idx int) error {
 		if size == 0 {
 			size = 256 * 1024 // the paper's 256 KB ext devices
 		}
+		var mopts extfs.MountOpts
+		for _, b := range ts.Bugs {
+			if b == BugJournalCommitFirst && ts.Kind == "ext4" {
+				mopts.JournalCommitFirst = true
+				continue
+			}
+			return fmt.Errorf("mcfs: %s does not support bug %q", ts.Kind, b)
+		}
 		dev := s.deviceFor(fmt.Sprintf("ram%d", idx), ts, size)
 		if err := extfs.Mkfs(dev, extfs.MkfsOptions{Journal: ts.Kind == "ext4"}); err != nil {
 			return err
 		}
-		return k.Mount(point, kernel.FilesystemSpec{
+		spec := kernel.FilesystemSpec{
 			Type:      ts.Kind,
 			Dev:       dev,
-			Mounter:   func() (vfs.FS, error) { return extfs.Mount(dev, clock) },
+			Mounter:   func() (vfs.FS, error) { return extfs.MountWith(dev, clock, mopts) },
 			Unmounter: func(f vfs.FS) error { return f.(*extfs.FS).Unmount() },
-		}, kernel.MountOptions{})
+		}
+		if err := k.Mount(point, spec, kernel.MountOptions{}); err != nil {
+			return err
+		}
+		if s.crash && crashEligible(ts) {
+			inj := fault.New()
+			dev.SetInjector(inj)
+			var fsck func() []string
+			if ts.Kind == "ext4" {
+				fsck = func() []string {
+					probs, err := extfs.Fsck(dev)
+					if err != nil {
+						return []string{fmt.Sprintf("fsck error: %v", err)}
+					}
+					out := make([]string, len(probs))
+					for i, p := range probs {
+						out[i] = p.String()
+					}
+					return out
+				}
+			}
+			s.addCrashPlane(idx, point, ts, inj, spec, dev.Snapshot, dev.LoadImage, ts.Kind == "ext4", fsck)
+		}
+		return nil
 	case "xfs":
 		size := ts.DeviceSize
 		if size == 0 {
@@ -359,12 +482,21 @@ func (s *Session) mountTarget(point string, ts TargetSpec, idx int) error {
 			return err
 		}
 		bridge := blockdev.NewMTDBlock(mtd)
-		return k.Mount(point, kernel.FilesystemSpec{
+		spec := kernel.FilesystemSpec{
 			Type:      "jffs2",
 			Dev:       bridge,
 			Mounter:   func() (vfs.FS, error) { return jffs2sim.Mount(mtd, clock) },
 			Unmounter: func(f vfs.FS) error { return f.(*jffs2sim.FS).Unmount() },
-		}, kernel.MountOptions{})
+		}
+		if err := k.Mount(point, spec, kernel.MountOptions{}); err != nil {
+			return err
+		}
+		if s.crash && crashEligible(ts) {
+			inj := fault.New()
+			mtd.SetInjector(inj)
+			s.addCrashPlane(idx, point, ts, inj, spec, bridge.Snapshot, mtd.LoadImage, false, nil)
+		}
+		return nil
 	case "verifs1", "verifs2":
 		backing, err := buildVeriFS(ts, clock)
 		if err != nil {
@@ -466,6 +598,15 @@ func (s *Session) Replay(trail []Op) (*Discrepancy, error) {
 // of the same kind).
 func (s *Session) VerifyTrail(trail []Op, want *Discrepancy) (*Discrepancy, bool, error) {
 	return mc.VerifyTrail(s.cfg, trail, want)
+}
+
+// VerifyCrashTrail replays a crash-bug trail — the prefix executes
+// normally, then the final operation is crash-tested on the spec'd
+// target at the spec'd write index — and reports whether it reproduces
+// the wanted discrepancy. The session must have been built with
+// CrashExploration (the crash planes carry the fault injectors).
+func (s *Session) VerifyCrashTrail(trail []Op, spec *CrashSpec, want *Discrepancy) (*Discrepancy, bool, error) {
+	return mc.VerifyCrashTrail(s.cfg, trail, spec, want)
 }
 
 // ReplayJournal re-executes a flight-recorder journal against this

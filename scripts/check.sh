@@ -16,6 +16,12 @@
 #      writes a repro bundle, mcfs replay must       to end: journal ->
 #      reproduce it, mcfs shrink must minimize it    bundle -> replay ->
 #                                                    shrink)
+#   7. go test -race ./internal/fault/...           (fault plane under
+#                                                    the race detector)
+#   8. crash-exploration smoke: the seeded ext4     (fault injection end
+#      journal-ordering bug is found only under      to end: crash points
+#      -crash, its bundle replays and shrinks, and   -> oracle -> bundle
+#      the same run without -crash stays clean       -> replay -> shrink)
 #
 # Usage: scripts/check.sh   (from the repo root or anywhere inside it)
 set -eu
@@ -53,5 +59,25 @@ rc=0
 	echo "FAIL: bundle shrink failed"; exit 1; }
 "$work/mcfs" replay "$bundle" >/dev/null || {
 	echo "FAIL: minimized bundle did not reproduce"; exit 1; }
+
+echo "==> go test -race ./internal/fault/..."
+go test -race ./internal/fault/...
+
+echo "==> crash-exploration smoke (-crash -> bundle -> replay -> shrink)"
+crashbundle="$work/crashbundle"
+rc=0
+"$work/mcfs" -fs ext2 -fs ext4 -bug journal-commit-first -crash \
+	-depth 1 -max-ops 5000 -bundle "$crashbundle" >/dev/null || rc=$?
+[ "$rc" -eq 3 ] || { echo "FAIL: seeded crash-bug run exited $rc, want 3 (bug found)"; exit 1; }
+"$work/mcfs" replay "$crashbundle" >/dev/null || {
+	echo "FAIL: crash bundle did not reproduce deterministically"; exit 1; }
+"$work/mcfs" shrink "$crashbundle" >/dev/null || {
+	echo "FAIL: crash bundle shrink failed"; exit 1; }
+"$work/mcfs" replay "$crashbundle" >/dev/null || {
+	echo "FAIL: minimized crash bundle did not reproduce"; exit 1; }
+rc=0
+"$work/mcfs" -fs ext2 -fs ext4 -bug journal-commit-first \
+	-depth 1 -max-ops 5000 >/dev/null || rc=$?
+[ "$rc" -eq 0 ] || { echo "FAIL: without -crash the seeded crash bug must stay invisible (exited $rc)"; exit 1; }
 
 echo "OK: all checks passed"
