@@ -419,7 +419,7 @@ func (c *Checker) EqualizeFreeSpace() errno.Errno {
 				break
 			}
 			if e != errno.OK {
-				c.k.Close(fd)
+				_ = c.k.Close(fd) // the write's errno is the result; close is cleanup
 				return e
 			}
 			pad -= int64(wrote)

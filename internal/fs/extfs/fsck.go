@@ -2,6 +2,7 @@ package extfs
 
 import (
 	"fmt"
+	"sort"
 
 	"mcfs/internal/blockdev"
 	"mcfs/internal/vfs"
@@ -154,11 +155,18 @@ func Fsck(dev blockdev.Device) ([]Problem, error) {
 		return nil, err
 	}
 
-	// Shared blocks: any data block referenced more than once.
+	// Shared blocks: any data block referenced more than once. Report in
+	// block order so the problem list is stable across runs (blockRefs is
+	// a map).
+	var sharedBlocks []uint32
 	for blk, n := range blockRefs {
 		if n > 1 {
-			report("block-shared", "block %d referenced %d times", blk, n)
+			sharedBlocks = append(sharedBlocks, blk)
 		}
+	}
+	sort.Slice(sharedBlocks, func(i, j int) bool { return sharedBlocks[i] < sharedBlocks[j] })
+	for _, blk := range sharedBlocks {
+		report("block-shared", "block %d referenced %d times", blk, blockRefs[blk])
 	}
 
 	// Link counts and orphans. Directories are checked loosely (their

@@ -24,6 +24,7 @@ package xfssim
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"time"
 
 	"mcfs/internal/blockdev"
@@ -356,12 +357,21 @@ func (f *FS) Sync() errno.Errno {
 			byBlock[inodeTable+(ino-1)/InodesPerBlock] = append(byBlock[inodeTable+(ino-1)/InodesPerBlock], ino)
 		}
 	}
-	for blk, inos := range byBlock {
+	// Write inode-table blocks in ascending block order: byBlock is a
+	// map, and the crash-consistency explorer enumerates crash points per
+	// device write, so the write order must not vary between identical
+	// runs.
+	var dirtyBlocks []uint32
+	for blk := range byBlock {
+		dirtyBlocks = append(dirtyBlocks, blk)
+	}
+	sort.Slice(dirtyBlocks, func(i, j int) bool { return dirtyBlocks[i] < dirtyBlocks[j] })
+	for _, blk := range dirtyBlocks {
 		buf := make([]byte, BlockSize)
 		if err := f.dev.ReadAt(buf, int64(blk)*BlockSize); err != nil {
 			return errno.EIO
 		}
-		for _, ino := range inos {
+		for _, ino := range byBlock[blk] {
 			ci := f.inodeCache[ino]
 			off := ((ino - 1) % InodesPerBlock) * InodeSize
 			ci.encode(buf[off : off+InodeSize])

@@ -513,9 +513,14 @@ func (k *Kernel) walkFrom(m *Mount, start vfs.Ino, rest string, followLast bool,
 	return resolved{}, errno.EIO
 }
 
-// syncIfNeeded flushes the mount when it was mounted with -o sync.
-func (m *Mount) syncIfNeeded() {
+// syncIfNeeded flushes the mount when it was mounted with -o sync. The
+// flush's errno is the caller's to return: under -o sync an operation
+// has not succeeded until it is on the medium, so a failed writeback
+// (device fault, injected or real) must surface as the operation's
+// result rather than vanish.
+func (m *Mount) syncIfNeeded() errno.Errno {
 	if m.sync {
-		m.fs.Sync()
+		return m.fs.Sync()
 	}
+	return errno.OK
 }

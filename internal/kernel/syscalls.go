@@ -38,7 +38,9 @@ func (k *Kernel) Open(path string, flags vfs.OpenFlag, mode vfs.Mode) (FD, errno
 				return -1, e2
 			}
 			m.attrDirty(ino)
-			m.syncIfNeeded()
+			if e2 := m.syncIfNeeded(); e2 != errno.OK {
+				return -1, e2
+			}
 		}
 	case flags&vfs.OCreate != 0:
 		if r.name == "" {
@@ -50,7 +52,9 @@ func (k *Kernel) Open(path string, flags vfs.OpenFlag, mode vfs.Mode) (FD, errno
 		}
 		m.cacheAdd(r.parent, r.name, newIno)
 		m.attrDirty(r.parent)
-		m.syncIfNeeded()
+		if e2 := m.syncIfNeeded(); e2 != errno.OK {
+			return -1, e2
+		}
 		ino = newIno
 	default:
 		return -1, errno.ENOENT
@@ -125,7 +129,9 @@ func (k *Kernel) WriteFD(fd FD, data []byte) (int, errno.Errno) {
 	}
 	of.pos += int64(n)
 	of.mount.attrDirty(of.ino)
-	of.mount.syncIfNeeded()
+	if e := of.mount.syncIfNeeded(); e != errno.OK {
+		return 0, e
+	}
 	return n, errno.OK
 }
 
@@ -162,7 +168,9 @@ func (k *Kernel) PWriteFD(fd FD, off int64, data []byte) (int, errno.Errno) {
 		return 0, e
 	}
 	of.mount.attrDirty(of.ino)
-	of.mount.syncIfNeeded()
+	if e := of.mount.syncIfNeeded(); e != errno.OK {
+		return 0, e
+	}
 	return n, errno.OK
 }
 
@@ -225,8 +233,7 @@ func (k *Kernel) Mkdir(path string, mode vfs.Mode) errno.Errno {
 	}
 	m.cacheAdd(r.parent, r.name, ino)
 	m.attrDirty(r.parent)
-	m.syncIfNeeded()
-	return errno.OK
+	return m.syncIfNeeded()
 }
 
 // Rmdir removes an empty directory.
@@ -249,8 +256,7 @@ func (k *Kernel) Rmdir(path string) errno.Errno {
 	m.cacheRemove(r.parent, r.name)
 	m.attrDirty(r.parent)
 	m.attrDirty(r.ino)
-	m.syncIfNeeded()
-	return errno.OK
+	return m.syncIfNeeded()
 }
 
 // Unlink removes a file or symlink.
@@ -273,8 +279,7 @@ func (k *Kernel) Unlink(path string) errno.Errno {
 	m.cacheRemove(r.parent, r.name)
 	m.attrDirty(r.parent)
 	m.attrDirty(r.ino)
-	m.syncIfNeeded()
-	return errno.OK
+	return m.syncIfNeeded()
 }
 
 // Rename moves oldPath to newPath (within one mount).
@@ -319,8 +324,7 @@ func (k *Kernel) Rename(oldPath, newPath string) errno.Errno {
 	if rn.exists {
 		m.attrDirty(rn.ino)
 	}
-	m.syncIfNeeded()
-	return errno.OK
+	return m.syncIfNeeded()
 }
 
 // Link creates a hard link newPath referring to oldPath's inode.
@@ -354,8 +358,7 @@ func (k *Kernel) Link(oldPath, newPath string) errno.Errno {
 	m.cacheAdd(rn.parent, rn.name, ro.ino)
 	m.attrDirty(ro.ino)
 	m.attrDirty(rn.parent)
-	m.syncIfNeeded()
-	return errno.OK
+	return m.syncIfNeeded()
 }
 
 // Symlink creates a symbolic link at path pointing to target.
@@ -379,8 +382,7 @@ func (k *Kernel) Symlink(target, path string) errno.Errno {
 	}
 	m.cacheAdd(r.parent, r.name, ino)
 	m.attrDirty(r.parent)
-	m.syncIfNeeded()
-	return errno.OK
+	return m.syncIfNeeded()
 }
 
 // Readlink returns the target of the symlink at path.
@@ -456,8 +458,7 @@ func (k *Kernel) Chmod(path string, mode vfs.Mode) errno.Errno {
 		return e
 	}
 	m.attrDirty(r.ino)
-	m.syncIfNeeded()
-	return errno.OK
+	return m.syncIfNeeded()
 }
 
 // Chown updates ownership.
@@ -475,8 +476,7 @@ func (k *Kernel) Chown(path string, uid, gid uint32) errno.Errno {
 		return e
 	}
 	m.attrDirty(r.ino)
-	m.syncIfNeeded()
-	return errno.OK
+	return m.syncIfNeeded()
 }
 
 // Truncate sets the file size.
@@ -494,8 +494,7 @@ func (k *Kernel) Truncate(path string, size int64) errno.Errno {
 		return e
 	}
 	m.attrDirty(r.ino)
-	m.syncIfNeeded()
-	return errno.OK
+	return m.syncIfNeeded()
 }
 
 // GetDents lists a directory (unsorted, exactly as the FS returns it).
@@ -588,8 +587,7 @@ func (k *Kernel) SetXattr(path, name string, value []byte) errno.Errno {
 		return e
 	}
 	r.mount.attrDirty(r.ino)
-	r.mount.syncIfNeeded()
-	return errno.OK
+	return r.mount.syncIfNeeded()
 }
 
 // GetXattr reads an extended attribute.
@@ -644,6 +642,5 @@ func (k *Kernel) RemoveXattr(path, name string) errno.Errno {
 		return e
 	}
 	r.mount.attrDirty(r.ino)
-	r.mount.syncIfNeeded()
-	return errno.OK
+	return r.mount.syncIfNeeded()
 }

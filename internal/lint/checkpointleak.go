@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NewCheckpointLeak builds the checkpointleak analyzer.
+//
+// The engine's backtracking contract: every checkpoint image saved under a
+// key must be consumed by a Restore or released by a Discard — an abandoned
+// key's images sit in the snapshot pools forever (the exact leak the swarm
+// PR fixed on the engine's partial-checkpoint error path). The analyzer
+// tracks every key passed to a Checkpoint method whose receiver also has
+// Restore and Discard methods, and reports any return path reached before
+// the key was handed to a restore/discard-shaped consumer.
+//
+// The analysis is a may-consume approximation over source order: once the
+// key reaches a Restore/Discard call, a *discard*/*restore*-named helper,
+// or escapes into other code (stored in a slice a deferred cleanup walks,
+// formatted into an error, sent somewhere), later returns are trusted.
+// Methods named Checkpoint/Restore/Discard themselves are exempt — they
+// are the implementations being delegated to, not call sites that own
+// key lifecycles.
+func NewCheckpointLeak() *Analyzer {
+	a := &Analyzer{
+		Name: "checkpointleak",
+		Doc: "checkpoint keys must reach Restore or Discard on every return path " +
+			"of the function that created them",
+	}
+	a.Run = func(pass *Pass) { runCheckpointLeak(pass) }
+	return a
+}
+
+func runCheckpointLeak(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			switch fn.Name.Name {
+			case "Checkpoint", "Restore", "Discard":
+				// Tracker implementations delegate the same key inward;
+				// the key's lifecycle belongs to their caller.
+				continue
+			}
+			checkFuncForLeaks(pass, fn)
+		}
+	}
+}
+
+// ckEvent is one lifecycle-relevant occurrence inside a function, in
+// source order.
+type ckEvent struct {
+	pos  token.Pos // sort position
+	at   token.Pos // report position
+	kind int       // 0 checkpoint, 1 consume, 2 return
+	obj  types.Object
+}
+
+func checkFuncForLeaks(pass *Pass, fn *ast.FuncDecl) {
+	// First pass: find checkpoint calls and the key objects they save
+	// under, remembering the exact argument idents so the second pass can
+	// tell a checkpointing use from a consuming one.
+	keyObjs := map[types.Object]bool{}
+	checkpointArgs := map[*ast.Ident]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Checkpoint" {
+			return true
+		}
+		if !hasRestoreAndDiscard(pass, sel.X) {
+			return true
+		}
+		id, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		keyObjs[obj] = true
+		checkpointArgs[id] = true
+		return true
+	})
+	if len(keyObjs) == 0 {
+		return
+	}
+
+	// Second pass: collect checkpoint / consume / return events.
+	var events []ckEvent
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// Returns inside a nested closure do not leave the outer
+				// function, but key uses inside it (a deferred discard
+				// loop, say) still count as consumption.
+				walk(n.Body, depth+1)
+				return false
+			case *ast.ReturnStmt:
+				if depth == 0 {
+					// Sort the return after its own children so a
+					// consuming result expression (return t.Restore(key))
+					// is seen first.
+					events = append(events, ckEvent{pos: n.End(), at: n.Pos(), kind: 2})
+				}
+			case *ast.Ident:
+				obj := pass.Info.ObjectOf(n)
+				if obj == nil || !keyObjs[obj] {
+					return true
+				}
+				if pass.Info.Defs[n] != nil {
+					return true // the key's own declaration
+				}
+				kind := 1 // consume
+				if checkpointArgs[n] {
+					kind = 0
+				}
+				events = append(events, ckEvent{pos: n.Pos(), at: n.Pos(), kind: kind, obj: obj})
+			}
+			return true
+		})
+	}
+	walk(fn.Body, 0)
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	// A function whose body can fall off the end returns there too.
+	if stmts := fn.Body.List; len(stmts) == 0 || !terminates(stmts[len(stmts)-1]) {
+		events = append(events, ckEvent{pos: fn.Body.Rbrace, at: fn.Body.Rbrace, kind: 2})
+	}
+
+	live := map[types.Object]token.Pos{}
+	consumed := map[types.Object]bool{}
+	for _, ev := range events {
+		switch ev.kind {
+		case 0:
+			if _, ok := live[ev.obj]; !ok {
+				live[ev.obj] = ev.pos
+			}
+		case 1:
+			if _, ok := live[ev.obj]; ok {
+				consumed[ev.obj] = true
+			}
+		case 2:
+			var leaked []types.Object
+			for obj := range live {
+				if !consumed[obj] {
+					leaked = append(leaked, obj)
+				}
+			}
+			sort.Slice(leaked, func(i, j int) bool { return leaked[i].Pos() < leaked[j].Pos() })
+			for _, obj := range leaked {
+				pass.Reportf(ev.at,
+					"checkpoint key %q (saved at %s) can leak: no Restore or Discard reaches this return",
+					obj.Name(), pass.Fset.Position(live[obj]))
+			}
+		}
+	}
+}
+
+// hasRestoreAndDiscard reports whether the receiver expression's type has
+// both Restore and Discard in its method set — the shape of a tracker (or
+// any checkpoint/restore substrate) whose images need explicit release.
+func hasRestoreAndDiscard(pass *Pass, recv ast.Expr) bool {
+	t := pass.TypeOf(recv)
+	if t == nil {
+		return false
+	}
+	return hasMethod(t, "Restore") && hasMethod(t, "Discard")
+}
+
+func hasMethod(t types.Type, name string) bool {
+	if lookupMethod(t, name) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return lookupMethod(types.NewPointer(t), name)
+	}
+	return false
+}
+
+func lookupMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether a statement always transfers control out of
+// the enclosing function: a return, a panic call, or a select/for with no
+// way out. It is deliberately shallow — used only to decide whether a
+// function body's closing brace is reachable.
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.ForStmt:
+		if s.Cond == nil && !hasBreak(s.Body) {
+			return true
+		}
+	case *ast.BlockStmt:
+		if n := len(s.List); n > 0 {
+			return terminates(s.List[n-1])
+		}
+	case *ast.LabeledStmt:
+		return terminates(s.Stmt)
+	}
+	return false
+}
+
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			return false // break there binds to the inner statement
+		}
+		return !found
+	})
+	return found
+}
+
+// containsFold reports whether s contains substr, ASCII case-insensitively.
+func containsFold(s, substr string) bool {
+	return strings.Contains(strings.ToLower(s), strings.ToLower(substr))
+}

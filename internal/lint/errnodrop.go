@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrnoDropConfig configures the errnodrop analyzer.
+type ErrnoDropConfig struct {
+	// ErrorCallPkgPrefixes: a call dropping a plain error result is only
+	// reported when the callee's package path starts with one of these
+	// prefixes — the module's own kernel/vfs/fs surface. (Errno results
+	// are reported wherever the callee lives: Errno is this domain's
+	// type, and dropping one always loses a verification signal.)
+	ErrorCallPkgPrefixes []string
+}
+
+// NewErrnoDrop builds the errnodrop analyzer.
+//
+// Every vfs/kernel/fs operation reports failure through an error or an
+// errno.Errno, and the checker's whole job is comparing those outcomes
+// across targets. A call statement that drops such a result silently
+// swallows an EIO or a failed sync — the kind of miss that turns a real
+// discrepancy into a phantom pass. An explicit `_ =` assignment remains
+// legal: it is a visible, greppable statement of intent.
+func NewErrnoDrop(cfg ErrnoDropConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "errnodrop",
+		Doc: "error and Errno results of kernel/vfs/fs operations must not be " +
+			"discarded by expression statements in non-test code",
+	}
+	a.Run = func(pass *Pass) { runErrnoDrop(pass, cfg) }
+	return a
+}
+
+func runErrnoDrop(pass *Pass, cfg ErrnoDropConfig) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+			if !ok {
+				return true // conversion, builtin, or unknown
+			}
+			results := sig.Results()
+			var dropped []string
+			for i := 0; i < results.Len(); i++ {
+				rt := results.At(i).Type()
+				switch {
+				case isErrnoType(rt):
+					dropped = append(dropped, rt.String())
+				case isErrorType(rt) && calleeInPkgs(pass, call, cfg.ErrorCallPkgPrefixes):
+					dropped = append(dropped, "error")
+				}
+			}
+			if len(dropped) > 0 {
+				name, _ := calleeName(call)
+				pass.Reportf(stmt.Pos(),
+					"result of %s (%s) is discarded: handle it or assign it to _ explicitly",
+					name, strings.Join(dropped, ", "))
+			}
+			return true
+		})
+	}
+}
+
+func isErrnoType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Errno"
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// calleeInPkgs reports whether the called function or method is declared
+// in a package whose import path starts with one of the prefixes.
+func calleeInPkgs(pass *Pass, call *ast.CallExpr, prefixes []string) bool {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = pass.Info.Uses[fun.Sel]
+		}
+	case *ast.Ident:
+		obj = pass.Info.Uses[fun]
+	}
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	for _, p := range prefixes {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// want is one golden expectation: the diagnostic on file:line must match rx.
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// CheckGolden loads the fixture tree rooted at dir (packages keyed by
+// their directory-relative import paths), runs the analyzers, and
+// compares the diagnostics against `// want "regexp"` comments: every
+// diagnostic must match an expectation on its line, and every expectation
+// must be matched by exactly one diagnostic. It returns a list of
+// mismatch descriptions, empty on success.
+func CheckGolden(dir string, analyzers ...*Analyzer) ([]string, error) {
+	pkgs, err := LoadTree(dir, "")
+	if err != nil {
+		return nil, err
+	}
+	diags := Run(pkgs, analyzers)
+
+	var wants []want
+	for _, pkg := range pkgs {
+		ws, err := collectWants(pkg.Fset, pkg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		wants = append(wants, ws...)
+	}
+
+	var problems []string
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.File || w.line != d.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.rx))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// collectWants scans every .go file in the package directory for
+// `// want "rx"` comments. Multiple quoted patterns on one comment give
+// multiple expectations for that line.
+func collectWants(fset *token.FileSet, dir string) ([]want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+			if len(args) == 0 {
+				return nil, fmt.Errorf("%s:%d: malformed want comment (no quoted pattern)", path, i+1)
+			}
+			for _, a := range args {
+				rx, err := regexp.Compile(strings.ReplaceAll(a[1], `\"`, `"`))
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern: %v", path, i+1, err)
+				}
+				wants = append(wants, want{file: path, line: i + 1, rx: rx})
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// runGolden runs the analyzers over one fixture tree and fails on any
+// mismatch between diagnostics and `// want "rx"` expectations. Each
+// fixture seeds the bug class its analyzer exists for, so reintroducing
+// one (or weakening an analyzer below it) fails go test.
+func runGolden(t *testing.T, fixture string, analyzers ...*Analyzer) {
+	t.Helper()
+	problems, err := CheckGolden(filepath.Join("testdata", "src", fixture), analyzers...)
+	if err != nil {
+		t.Fatalf("CheckGolden(%s): %v", fixture, err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestCheckpointLeakGolden(t *testing.T) {
+	runGolden(t, "checkpointleak", NewCheckpointLeak())
+}
+
+func TestMapOrderGolden(t *testing.T) {
+	runGolden(t, "maporder", NewMapOrder())
+}
+
+func TestWalltimeGolden(t *testing.T) {
+	// The fixture's simclock subpackage plays the allowlisted virtual
+	// clock (import paths in a rootless fixture tree are dir-relative).
+	runGolden(t, "walltime", NewWalltime(WalltimeConfig{AllowPkgs: []string{"simclock"}}))
+}
+
+func TestErrnoDropGolden(t *testing.T) {
+	runGolden(t, "errnodrop", NewErrnoDrop(ErrnoDropConfig{
+		ErrorCallPkgPrefixes: []string{"kernelstub"},
+	}))
+}
+
+func TestNilObsGolden(t *testing.T) {
+	runGolden(t, "nilobs", NewNilObs(NilObsConfig{
+		Targets: map[string][]string{"obsstub": {"Hub"}},
+	}))
+}

@@ -1,0 +1,233 @@
+// Package lint is MCFS's domain-specific static-analysis framework: a
+// stdlib-only (go/ast + go/types) analogue of golang.org/x/tools/go/analysis,
+// purpose-built to prove the invariants the model checker depends on.
+//
+// The checker's soundness rests on two properties that ordinary Go tooling
+// cannot see: every checkpoint image must be paired with a restore-or-discard
+// (or backtracking leaks state, the bug class fixed in the swarm PR), and no
+// nondeterminism — map iteration order, wall-clock time, unseeded randomness —
+// may leak into state hashing or the flight-recorder journal (the bug class
+// behind the extfs journal-replay flake). Both invariants have regressed in
+// this repo's history; the analyzers in this package check them on every
+// build, SquirrelFS-style: correctness rules enforced before any run.
+//
+// The suite (see Analyzers):
+//
+//   - checkpointleak: a checkpoint key must reach Restore or Discard on
+//     every return path of the function that created it.
+//   - maporder: iteration over a map must not feed order-sensitive sinks
+//     (hashes, the journal, serialization, device writes, unsorted appends).
+//   - walltime: time.Now / time.Since / math/rand are forbidden outside
+//     the simulation clock — wall time breaks replay determinism.
+//   - errnodrop: error and Errno results of kernel/vfs/fs operations must
+//     not be discarded.
+//   - nilobs: obs hub/reporter/journal methods must keep their documented
+//     nil-receiver safety.
+//
+// Diagnostics can be suppressed with a justified comment on the flagged
+// line or the line directly above it:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; an ignore without one is inert.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for file:line:col display and
+// machine consumption (-json).
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and lint:ignore comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer proves.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	sink     *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.sink = append(*p.sink, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ignoreKey addresses one (file, line) pair in the suppression index.
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// ignoreIndex maps source lines to the analyzer names suppressed there.
+// The special name "all" suppresses every analyzer on that line.
+type ignoreIndex map[ignoreKey]map[string]bool
+
+// buildIgnoreIndex scans a package's comments for lint:ignore directives.
+// A directive covers its own line (trailing comment) and the line directly
+// below it (comment above the flagged statement). Directives without a
+// reason are ignored — suppressions must be justified.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, idx ignoreIndex) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+				if len(fields) < 2 {
+					// No analyzer name or no reason: inert.
+					continue
+				}
+				name := fields[0]
+				pos := fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := ignoreKey{file: pos.Filename, line: line}
+					if idx[key] == nil {
+						idx[key] = map[string]bool{}
+					}
+					idx[key][name] = true
+				}
+			}
+		}
+	}
+}
+
+func (idx ignoreIndex) suppressed(d Diagnostic) bool {
+	names := idx[ignoreKey{file: d.File, line: d.Line}]
+	return names[d.Analyzer] || names["all"]
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position. Suppressed findings are dropped.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	ignores := ignoreIndex{}
+	for _, pkg := range pkgs {
+		buildIgnoreIndex(pkg.Fset, pkg.Files, ignores)
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				analyzer: a,
+				sink:     &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	kept := diags[:0]
+	seen := map[Diagnostic]bool{}
+	for _, d := range diags {
+		if ignores.suppressed(d) || seen[d] {
+			continue
+		}
+		seen[d] = true
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return kept
+}
+
+// WriteJSON renders diagnostics as an indented JSON array (empty array,
+// not null, when there are none) for machine consumption.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}
+
+// Analyzers returns the production suite configured for this module's
+// package layout. Golden tests construct analyzers with fixture-specific
+// configurations instead.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NewCheckpointLeak(),
+		NewMapOrder(),
+		NewWalltime(WalltimeConfig{
+			AllowPkgs: []string{"mcfs/internal/simclock"},
+		}),
+		NewErrnoDrop(ErrnoDropConfig{
+			ErrorCallPkgPrefixes: []string{"mcfs/internal/", "mcfs"},
+		}),
+		NewNilObs(NilObsConfig{
+			Targets: map[string][]string{
+				"mcfs/internal/obs":         {"Hub", "Counter", "Gauge", "Histogram", "Reporter"},
+				"mcfs/internal/obs/journal": {"Writer", "Recorder"},
+			},
+		}),
+	}
+}

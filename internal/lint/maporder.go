@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mapOrderSinkNames are callee base names treated as order-sensitive: a
+// call to one of these inside a range-over-map body means Go's randomized
+// iteration order leaks into a hash, the flight-recorder journal, a
+// serialized byte stream, or the device write sequence the crash checker
+// indexes by.
+var mapOrderSinkNames = map[string]bool{
+	// hashing
+	"Sum": true, "Sum32": true, "Sum64": true,
+	// byte-stream / device output
+	"Write": true, "WriteAt": true, "WriteString": true, "WriteByte": true, "WriteTo": true,
+	// serialization
+	"Marshal": true, "MarshalIndent": true, "Encode": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	// flight-recorder records
+	"Op": true, "Meta": true, "Backtrack": true, "Record": true,
+}
+
+// NewMapOrder builds the maporder analyzer.
+//
+// Go randomizes map iteration order per run; any map range whose body
+// feeds an order-sensitive sink makes the produced bytes — and therefore
+// state hashes, journal records, and crash-point write indexes — differ
+// between a recording and its replay. This is the exact class of the
+// extfs journal-replay flake: per-inode journal copies of a shared
+// inode-table block were emitted in map order.
+//
+// Three sink shapes are recognized inside a map-range body:
+//
+//   - a call whose name is an order-sensitive sink (Write, Sum, Encode,
+//     journal record methods, ...);
+//   - an append to a slice (or to a field of a variable) declared outside
+//     the loop — order-sensitive unless the slice is sorted after the
+//     loop, which is the accepted collect-then-sort idiom and is not
+//     reported;
+//   - a call to a local closure that appends to an outer slice (the
+//     fsck-style report(...) helper).
+func NewMapOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc: "map iteration order must not feed hashes, the journal, serialization, " +
+			"device writes, or unsorted slice appends",
+	}
+	a.Run = func(pass *Pass) { runMapOrder(pass) }
+	return a
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncMapOrder(pass, fn)
+		}
+	}
+}
+
+func checkFuncMapOrder(pass *Pass, fn *ast.FuncDecl) {
+	appenders := collectAppenderClosures(pass, fn)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, fn, rs, appenders)
+		return true
+	})
+}
+
+// collectAppenderClosures finds `name := func(...) {...}` declarations
+// whose body appends to a variable declared outside the closure, mapping
+// the closure's object to the appended slice's object.
+func collectAppenderClosures(pass *Pass, fn *ast.FuncDecl) map[types.Object]types.Object {
+	out := map[types.Object]types.Object{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return true
+		}
+		id, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		lit, ok := assign.Rhs[0].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		closureObj := pass.Info.ObjectOf(id)
+		if closureObj == nil {
+			return true
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if target := appendTarget(pass, n); target != nil {
+				if target.Pos() < lit.Pos() || target.Pos() > lit.End() {
+					out[closureObj] = target
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// appendTarget returns the object a statement appends into, for the shape
+// `x = append(x, ...)` or `x.f = append(x.f, ...)` (the base variable x is
+// returned). Nil when n is not such an append.
+func appendTarget(pass *Pass, n ast.Node) types.Object {
+	assign, ok := n.(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return nil
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+		return nil
+	}
+	switch lhs := assign.Lhs[0].(type) {
+	case *ast.Ident:
+		return pass.Info.ObjectOf(lhs)
+	case *ast.SelectorExpr:
+		if base, ok := lhs.X.(*ast.Ident); ok {
+			return pass.Info.ObjectOf(base)
+		}
+	}
+	// Appends into a map bucket (m[k] = append(m[k], v)) are keyed, not
+	// ordered — not a sink.
+	return nil
+}
+
+func checkMapRangeBody(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, appenders map[types.Object]types.Object) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		// Order-sensitive append: collect-then-sort is fine, collect
+		// without sort is not.
+		if target := appendTarget(pass, n); target != nil {
+			if target.Pos() < rs.Pos() && !sortedAfter(pass, fn, rs, target) {
+				pass.Reportf(n.Pos(),
+					"append to %q inside range over map: element order follows map iteration order (sort %q after the loop, or iterate sorted keys)",
+					target.Name(), target.Name())
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Closure that appends to an outer slice.
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				if target, isAppender := appenders[obj]; isAppender {
+					if !sortedAfter(pass, fn, rs, target) {
+						pass.Reportf(call.Pos(),
+							"call to %q inside range over map appends to %q: order follows map iteration order",
+							id.Name, target.Name())
+					}
+					return true
+				}
+			}
+		}
+		// Named order-sensitive sink.
+		if name, ok := calleeName(call); ok && mapOrderSinkNames[name] {
+			pass.Reportf(call.Pos(),
+				"%s called inside range over map: the produced sequence follows map iteration order (iterate sorted keys instead)",
+				name)
+		}
+		return true
+	})
+}
+
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	case *ast.Ident:
+		return fun.Name, true
+	}
+	return "", false
+}
+
+// sortedAfter reports whether the slice object is handed to a sort-shaped
+// call after the range statement ends — the collect-then-sort idiom.
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, slice types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= rs.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !sortShaped(call) {
+			return true
+		}
+		if callMentions(pass, call, slice) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortShaped recognizes sort.X / slices.SortX calls and any callee whose
+// name contains "sort" (sortByState and friends).
+func sortShaped(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if base, ok := fun.X.(*ast.Ident); ok && (base.Name == "sort" || base.Name == "slices") {
+			return true
+		}
+		return containsFold(fun.Sel.Name, "sort")
+	case *ast.Ident:
+		return containsFold(fun.Name, "sort")
+	}
+	return false
+}
+
+// callMentions reports whether the call's receiver or arguments reference
+// the given object.
+func callMentions(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestModuleIsClean runs the full production suite over this module —
+// the same check `mcfslint ./...` and scripts/check.sh perform — so a
+// regression in any checked invariant fails `go test ./...`, not just
+// the lint gate.
+func TestModuleIsClean(t *testing.T) {
+	pkgs, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("LoadModule found only %d packages; loader is missing the tree", len(pkgs))
+	}
+	diags := Run(pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestWriteJSON covers the -json output contract: an indented array,
+// stable field names, and an empty array (never null) with no findings.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON(nil): %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("WriteJSON(nil) = %q, want []", got)
+	}
+
+	diags := []Diagnostic{
+		{Analyzer: "walltime", File: "x.go", Line: 3, Col: 9, Message: "time.Now reads the wall clock"},
+		{Analyzer: "maporder", File: "y.go", Line: 7, Col: 2, Message: "append to \"keys\" inside range over map"},
+	}
+	buf.Reset()
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	for _, field := range []string{`"analyzer"`, `"file"`, `"line"`, `"col"`, `"message"`} {
+		if !strings.Contains(buf.String(), field) {
+			t.Errorf("JSON output missing field %s:\n%s", field, buf.String())
+		}
+	}
+	var back []Diagnostic
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if !reflect.DeepEqual(back, diags) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", back, diags)
+	}
+}

@@ -1,0 +1,101 @@
+// Fixture for the checkpointleak analyzer. A Tracker here has the full
+// Checkpoint/Restore/Discard method set, so keys passed to Checkpoint
+// are lifecycle-tracked; saverOnly lacks Discard and is exempt.
+package checkpointleak
+
+type Tracker struct{ n int }
+
+func (t *Tracker) Checkpoint(key uint64) error { t.n++; return nil }
+func (t *Tracker) Restore(key uint64) error    { t.n--; return nil }
+func (t *Tracker) Discard(key uint64)          { t.n-- }
+
+var bad bool
+
+func errOops() error { return nil }
+
+// Leaky saves a checkpoint and forgets it on the early-exit path — the
+// snapshot pool grows by one abandoned image per call.
+func Leaky(t *Tracker, key uint64) error {
+	_ = t.Checkpoint(key)
+	if bad {
+		return errOops() // want "checkpoint key \"key\" .* can leak"
+	}
+	return t.Restore(key)
+}
+
+// LeakyLoop is the partial-checkpoint shape: when a later tracker fails,
+// earlier iterations have already saved images under key.
+func LeakyLoop(ts []*Tracker, key uint64) error {
+	for _, t := range ts {
+		if err := t.Checkpoint(key); err != nil {
+			return err // want "can leak"
+		}
+	}
+	for _, t := range ts {
+		_ = t.Restore(key)
+	}
+	return nil
+}
+
+// CleanLoop releases the already-saved images before the early return.
+func CleanLoop(ts []*Tracker, key uint64) error {
+	var saved []*Tracker
+	for _, t := range ts {
+		if err := t.Checkpoint(key); err != nil {
+			for _, s := range saved {
+				s.Discard(key)
+			}
+			return err
+		}
+		saved = append(saved, t)
+	}
+	for _, t := range ts {
+		_ = t.Restore(key)
+	}
+	return nil
+}
+
+// DeferredDiscard releases through a deferred closure — key uses inside
+// nested function literals count as consumption.
+func DeferredDiscard(t *Tracker, key uint64) error {
+	_ = t.Checkpoint(key)
+	defer func() { t.Discard(key) }()
+	if bad {
+		return errOops()
+	}
+	return nil
+}
+
+// RestoreInReturn consumes in the return expression itself: the return
+// is ordered after its own children.
+func RestoreInReturn(t *Tracker, key uint64) error {
+	_ = t.Checkpoint(key)
+	return t.Restore(key)
+}
+
+// ForgottenEntirely never consumes the key; falling off the end of the
+// body is a return path too.
+func ForgottenEntirely(t *Tracker, key uint64) {
+	_ = t.Checkpoint(key)
+} // want "can leak"
+
+type saverOnly struct{}
+
+func (saverOnly) Checkpoint(key uint64) {}
+func (saverOnly) Restore(key uint64)    {}
+
+// NotTracked: the receiver lacks Discard, so its keys have no
+// release obligation.
+func NotTracked(s saverOnly, key uint64) {
+	s.Checkpoint(key)
+}
+
+type chain struct{ inner *Tracker }
+
+// Restore delegates the same key inward; functions named
+// Checkpoint/Restore/Discard are the implementations, not call sites
+// that own key lifecycles.
+func (c *chain) Restore(key uint64) error {
+	_ = c.inner.Checkpoint(key)
+	return nil
+}

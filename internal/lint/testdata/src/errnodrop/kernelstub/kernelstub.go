@@ -1,0 +1,19 @@
+// Package kernelstub stands in for the module's kernel/vfs surface: its
+// import path is listed in the fixture's ErrorCallPkgPrefixes, and its
+// Errno type is lifecycle-checked wherever it appears.
+package kernelstub
+
+// Errno is the domain's error number type.
+type Errno int
+
+// OK is success.
+const OK Errno = 0
+
+// Close releases a descriptor.
+func Close(fd int) Errno { return OK }
+
+// Flush reports failure through a plain error.
+func Flush() error { return nil }
+
+// Count returns a plain value; dropping it is harmless.
+func Count() int { return 0 }

@@ -1,0 +1,30 @@
+// Fixture for the errnodrop analyzer: expression statements discarding
+// Errno or error results of kernel-surface calls.
+package use
+
+import (
+	"fmt"
+
+	"kernelstub"
+)
+
+type device struct{}
+
+// Sync is declared outside the configured prefixes, but returns an
+// Errno: Errno results are checked wherever the callee lives.
+func (device) Sync() kernelstub.Errno { return kernelstub.OK }
+
+func drops(d device) {
+	kernelstub.Close(3) // want "result of Close \(kernelstub.Errno\) is discarded"
+	kernelstub.Flush()  // want "result of Flush \(error\) is discarded"
+	d.Sync()            // want "result of Sync \(kernelstub.Errno\) is discarded"
+
+	kernelstub.Count()      // plain int result: not a verification signal
+	fmt.Println("x")        // error result, but fmt is outside the configured prefixes
+	_ = kernelstub.Close(3) // explicit discard is visible and greppable
+	defer kernelstub.Flush()
+
+	if e := kernelstub.Close(3); e != kernelstub.OK {
+		return
+	}
+}

@@ -1,0 +1,87 @@
+// Fixture for the maporder analyzer: order-sensitive sinks inside
+// range-over-map bodies, and the accepted collect-then-sort idioms.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+type hashStub struct{}
+
+func (hashStub) Write(p []byte) {}
+
+type journalStub struct{}
+
+func (journalStub) Record(s string) {}
+
+// hashLeak feeds map iteration order straight into a hash.
+func hashLeak(m map[string]int) {
+	var h hashStub
+	for k := range m {
+		h.Write([]byte(k)) // want "Write called inside range over map"
+	}
+}
+
+// journalLeak emits journal records in map order — the PR 3 flake class:
+// a recording and its replay journal the same state in different orders.
+func journalLeak(m map[string]int, j journalStub) {
+	for k := range m {
+		j.Record(k) // want "Record called inside range over map"
+	}
+}
+
+// appendLeak collects into a slice that is never sorted.
+func appendLeak(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to \"keys\" inside range over map"
+	}
+	return keys
+}
+
+// collectThenSort is the accepted idiom: the order is repaired after the
+// loop, before anything observes it.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// bucketAppend appends into map buckets — keyed, not ordered.
+func bucketAppend(m map[string][]int) map[string][]int {
+	out := map[string][]int{}
+	for k, vs := range m {
+		for _, v := range vs {
+			out[k] = append(out[k], v)
+		}
+	}
+	return out
+}
+
+// reportPattern calls a local closure that appends to an outer slice —
+// the fsck-style report(...) helper.
+func reportPattern(m map[uint32]int) []string {
+	var problems []string
+	report := func(f string, args ...any) {
+		problems = append(problems, fmt.Sprintf(f, args...))
+	}
+	for blk, n := range m {
+		if n > 1 {
+			report("block %d referenced %d times", blk, n) // want "call to \"report\" inside range over map appends to \"problems\""
+		}
+	}
+	return problems
+}
+
+// sliceRange ranges over a slice, not a map: ordered by construction.
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

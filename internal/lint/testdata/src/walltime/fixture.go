@@ -1,0 +1,20 @@
+// Fixture for the walltime analyzer: wall-clock reads and unseeded
+// randomness outside the allowlisted simulation-clock package.
+package walltime
+
+import (
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+func epoch() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want "use of rand.Intn"
+}

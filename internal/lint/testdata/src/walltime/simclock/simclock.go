@@ -1,0 +1,8 @@
+// Package simclock stands in for the allowlisted virtual-clock package:
+// the one place allowed to read the wall clock.
+package simclock
+
+import "time"
+
+// Epoch reads the wall clock; this package owns the time base.
+func Epoch() time.Time { return time.Now() }

@@ -1,0 +1,20 @@
+// Suppression behavior: a justified lint:ignore covers its own line and
+// the line below it; an ignore without a reason is inert.
+package walltime
+
+import "time"
+
+func allowedFallback() time.Duration {
+	//lint:ignore walltime fixture documents a deliberate wall-clock fallback
+	start := time.Now()
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func unjustified() time.Time {
+	//lint:ignore walltime
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func wildcard() time.Time {
+	return time.Now() //lint:ignore all fixture demonstrates the wildcard
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WalltimeConfig configures the walltime analyzer.
+type WalltimeConfig struct {
+	// AllowPkgs lists package import paths exempt from the check (the
+	// simulation clock itself, which owns the virtual time base).
+	AllowPkgs []string
+}
+
+// NewWalltime builds the walltime analyzer.
+//
+// Journal replay is only deterministic if every recorded quantity derives
+// from the session's virtual clock and seeded choices. A time.Now or
+// time.Since call — or any use of math/rand's global, unseeded state —
+// injects wall-clock entropy that differs between a recording and its
+// replay. All simulated time must flow through internal/simclock, and all
+// randomness through the engine's seeded shuffles.
+func NewWalltime(cfg WalltimeConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "walltime",
+		Doc: "time.Now/time.Since and math/rand are forbidden outside internal/simclock: " +
+			"wall-clock reads and unseeded randomness break replay determinism",
+	}
+	a.Run = func(pass *Pass) { runWalltime(pass, cfg) }
+	return a
+}
+
+func runWalltime(pass *Pass, cfg WalltimeConfig) {
+	for _, allow := range cfg.AllowPkgs {
+		if pass.Pkg.Path() == allow {
+			return
+		}
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s: unseeded randomness breaks replay determinism (derive choices from the engine's seeded shuffle)",
+					path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if id.Name == "Now" || id.Name == "Since" {
+					pass.Reportf(id.Pos(),
+						"time.%s reads the wall clock: route timing through internal/simclock so replay stays deterministic",
+						id.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(id.Pos(),
+					"use of %s.%s: unseeded randomness breaks replay determinism",
+					obj.Pkg().Name(), id.Name)
+			}
+			return true
+		})
+	}
+}

@@ -21,8 +21,10 @@
 package mc
 
 import (
+	"bytes"
 	"fmt"
 	"runtime/debug"
+	"sort"
 	"time"
 
 	"mcfs/internal/checker"
@@ -240,6 +242,28 @@ func (r *ResumeState) UniqueStates() int64 {
 		return 0
 	}
 	return int64(len(r.States))
+}
+
+// sortByState orders the paired States/Depths slices by state bytes.
+// Resume sets are filled from visited-table maps; without this sort the
+// serialized bytes of a resume file would differ between identical runs
+// (map iteration order), breaking byte-for-byte reproducibility of run
+// artifacts.
+func (r *ResumeState) sortByState() {
+	sort.Sort(resumeByState{r})
+}
+
+type resumeByState struct{ r *ResumeState }
+
+func (s resumeByState) Len() int { return len(s.r.States) }
+func (s resumeByState) Less(i, j int) bool {
+	return bytes.Compare(s.r.States[i][:], s.r.States[j][:]) < 0
+}
+func (s resumeByState) Swap(i, j int) {
+	s.r.States[i], s.r.States[j] = s.r.States[j], s.r.States[i]
+	if len(s.r.Depths) == len(s.r.States) {
+		s.r.Depths[i], s.r.Depths[j] = s.r.Depths[j], s.r.Depths[i]
+	}
 }
 
 type engine struct {
@@ -461,6 +485,7 @@ func Run(cfg Config) Result {
 			resume.States = append(resume.States, st)
 			resume.Depths = append(resume.Depths, depth)
 		}
+		resume.sortByState()
 		res.Resume = resume
 	}
 	return res

@@ -225,6 +225,7 @@ func (v *SharedVisited) Export() *ResumeState {
 		}
 		sh.mu.Unlock()
 	}
+	r.sortByState()
 	return r
 }
 
@@ -494,6 +495,7 @@ func mergeSwarm(opts SwarmOptions, results []Result, shared *SharedVisited) Swar
 				sr.GlobalUniqueStates++
 			}
 		}
+		merged.sortByState()
 		sr.Resume = merged
 	}
 	sr.DuplicateStates = sr.UniqueStates - sr.GlobalUniqueStates

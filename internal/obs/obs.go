@@ -116,7 +116,14 @@ func New(opts Options) *Hub {
 	h.tracer.capacity = capacity
 	nowFn := opts.Now
 	if nowFn == nil {
+		// Wall time is the documented fallback when no virtual clock is
+		// wired (Options.Now == nil): a hub observing a live run still
+		// needs usable progress rates and span durations. Nothing the
+		// engine hashes or journals flows through this time base — MCFS
+		// always wires the session's simclock before exploring.
+		//lint:ignore walltime documented fallback time base for unwired hubs; feeds human telemetry only, never hashed or journaled state
 		start := time.Now()
+		//lint:ignore walltime pairs with the wall-clock epoch read above
 		nowFn = func() time.Duration { return time.Since(start) }
 	}
 	h.now.Store(&nowFn)

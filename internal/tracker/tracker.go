@@ -379,7 +379,7 @@ func (t *CheckpointTracker) Restore(key uint64) error {
 // system predating the discard API (ENOTSUP) simply retains the image
 // until teardown, which is the old behavior.
 func (t *CheckpointTracker) Discard(key uint64) {
-	t.k.Ioctl(t.point, vfs.IoctlDiscard, key)
+	_ = t.k.Ioctl(t.point, vfs.IoctlDiscard, key) // best-effort by contract (see doc)
 }
 
 // PreOp implements Tracker: no remounts needed (§5).

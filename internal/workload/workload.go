@@ -231,7 +231,7 @@ func Execute(k *kernel.Kernel, mountPoint string, op Op) checker.OpResult {
 		}
 		n, e := k.PWriteFD(fd, op.Off, data)
 		if e != errno.OK {
-			k.Close(fd)
+			_ = k.Close(fd) // the write's errno is the result; close is cleanup
 			return checker.OpResult{Ret: -1, Err: e}
 		}
 		if e := k.Close(fd); e != errno.OK {
@@ -247,7 +247,7 @@ func Execute(k *kernel.Kernel, mountPoint string, op Op) checker.OpResult {
 		}
 		data, e := k.ReadFD(fd, 1<<20)
 		if e != errno.OK {
-			k.Close(fd)
+			_ = k.Close(fd) // the read's errno is the result; close is cleanup
 			return checker.OpResult{Ret: -1, Err: e}
 		}
 		if e := k.Close(fd); e != errno.OK {

@@ -22,6 +22,12 @@
 #      journal-ordering bug is found only under      to end: crash points
 #      -crash, its bundle replays and shrinks, and   -> oracle -> bundle
 #      the same run without -crash stays clean       -> replay -> shrink)
+#   9. mcfslint ./...                                (domain static
+#                                                    analysis: checkpoint
+#                                                    leaks, map-order
+#                                                    nondeterminism, wall
+#                                                    time, dropped errnos,
+#                                                    nil-obs safety)
 #
 # Usage: scripts/check.sh   (from the repo root or anywhere inside it)
 set -eu
@@ -79,5 +85,10 @@ rc=0
 "$work/mcfs" -fs ext2 -fs ext4 -bug journal-commit-first \
 	-depth 1 -max-ops 5000 >/dev/null || rc=$?
 [ "$rc" -eq 0 ] || { echo "FAIL: without -crash the seeded crash bug must stay invisible (exited $rc)"; exit 1; }
+
+echo "==> mcfslint ./... (domain static analysis)"
+go build -o "$work/mcfslint" ./cmd/mcfslint
+"$work/mcfslint" ./... || {
+	echo "FAIL: mcfslint reported findings (see above)"; exit 1; }
 
 echo "OK: all checks passed"
