@@ -1,0 +1,246 @@
+package mcfs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"mcfs/internal/bench"
+	"mcfs/internal/mc"
+	"mcfs/internal/memmodel"
+	"mcfs/internal/obs/journal"
+	"mcfs/internal/obs/perf"
+)
+
+// This file is the committed benchmark suite behind `fsbench -json`:
+// the scenario set whose report is checked in as BENCH_mc.json and
+// diffed by `fsbench -compare` on every PR. Rates are per virtual
+// second from the calibrated cost model, so a regression is a code
+// change, not machine noise.
+
+// BenchBudget is the default per-scenario operation budget.
+const BenchBudget = 400
+
+// RunBenchReport executes every benchmark scenario at the given
+// per-scenario operation budget (BenchBudget when <= 0) and returns
+// the trajectory point `fsbench -json` emits.
+func RunBenchReport(budget int64) (bench.Report, error) {
+	if budget <= 0 {
+		budget = BenchBudget
+	}
+	report := bench.Report{Schema: bench.SchemaVersion, Budget: budget}
+	for _, sc := range []struct {
+		name string
+		run  func(int64) (bench.Scenario, error)
+	}{
+		{"explore-ext2-ext4", benchExploreExtPair},
+		{"explore-ext4-jffs2", benchExploreJFFS2},
+		{"swarm-shared-visited", benchSwarmShared},
+		{"crash-ext2-ext4", benchCrashExplore},
+		{"journal-replay", benchJournalReplay},
+	} {
+		row, err := sc.run(budget)
+		if err != nil {
+			return report, fmt.Errorf("mcfs: bench scenario %s: %w", sc.name, err)
+		}
+		row.Name = sc.name
+		report.Scenarios = append(report.Scenarios, row)
+	}
+	return report, nil
+}
+
+// benchRun executes one profiled session and folds it into a scenario
+// row.
+func benchRun(opts Options, budget int64) (bench.Scenario, *Session, Result, error) {
+	prof := perf.New(nil)
+	opts.Perf = prof
+	opts.MaxOps = budget
+	if opts.Memory == nil {
+		memCfg := memmodel.DefaultConfig()
+		opts.Memory = &memCfg
+	}
+	s, err := NewSession(opts)
+	if err != nil {
+		return bench.Scenario{}, nil, Result{}, err
+	}
+	res := s.Run()
+	if res.Err != nil {
+		s.Close()
+		return bench.Scenario{}, nil, res, res.Err
+	}
+	if res.Bug != nil {
+		s.Close()
+		return bench.Scenario{}, nil, res, fmt.Errorf("unexpected bug: %v", res.Bug.Discrepancy)
+	}
+	row := scenarioRow(res.Ops, res.UniqueStates, res.Elapsed, prof.Snapshot())
+	row.PeakMemBytes = s.MemoryStats().PeakBytes
+	return row, s, res, nil
+}
+
+// scenarioRow derives a scenario's rates and phase attribution.
+func scenarioRow(ops, unique int64, elapsed time.Duration, snap perf.Snapshot) bench.Scenario {
+	row := bench.Scenario{Ops: ops, UniqueStates: unique}
+	if secs := elapsed.Seconds(); secs > 0 {
+		row.OpsPerSec = round1(float64(ops) / secs)
+		row.StatesPerSec = round1(float64(unique) / secs)
+	}
+	if shares := snap.Shares(); len(shares) > 0 {
+		row.PhaseShares = make(map[string]float64, len(shares))
+		for phase, share := range shares {
+			row.PhaseShares[phase] = round4(share)
+		}
+	}
+	if n := len(snap.Samples); n > 0 {
+		if last := snap.Samples[n-1]; last.At > 0 && last.CrashPoints > 0 {
+			row.CrashPointsPerSec = round1(float64(last.CrashPoints) / last.At.Seconds())
+		}
+	}
+	return row
+}
+
+func benchExploreExtPair(budget int64) (bench.Scenario, error) {
+	row, s, _, err := benchRun(Options{
+		Targets:  []TargetSpec{{Kind: "ext2"}, {Kind: "ext4"}},
+		MaxDepth: 4,
+	}, budget)
+	if err != nil {
+		return row, err
+	}
+	s.Close()
+	return row, nil
+}
+
+func benchExploreJFFS2(budget int64) (bench.Scenario, error) {
+	row, s, _, err := benchRun(Options{
+		Targets:  []TargetSpec{{Kind: "ext4"}, {Kind: "jffs2"}},
+		MaxDepth: 4,
+	}, budget)
+	if err != nil {
+		return row, err
+	}
+	s.Close()
+	return row, nil
+}
+
+func benchCrashExplore(budget int64) (bench.Scenario, error) {
+	row, s, _, err := benchRun(Options{
+		Targets:          []TargetSpec{{Kind: "ext2"}, {Kind: "ext4"}},
+		MaxDepth:         2,
+		CrashExploration: true,
+	}, budget)
+	if err != nil {
+		return row, err
+	}
+	s.Close()
+	return row, nil
+}
+
+// benchSwarmShared measures a two-worker shared-visited swarm. The
+// aggregate rate uses the slowest worker's virtual elapsed — the
+// swarm's wall-clock in virtual terms — and the phase shares come from
+// the merged per-worker profile.
+func benchSwarmShared(budget int64) (bench.Scenario, error) {
+	const workers = 2
+	var mu sync.Mutex
+	var sessions []*Session
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+	sr, err := mc.SwarmRun(mc.SwarmOptions{Workers: workers, ShareVisited: true},
+		func(seed int64) (mc.Config, error) {
+			memCfg := memmodel.DefaultConfig()
+			s, err := NewSession(Options{
+				Targets:  []TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
+				MaxDepth: 3,
+				MaxOps:   budget,
+				Seed:     seed,
+				Memory:   &memCfg,
+				Perf:     perf.New(nil),
+			})
+			if err != nil {
+				return mc.Config{}, err
+			}
+			mu.Lock()
+			sessions = append(sessions, s)
+			mu.Unlock()
+			return *s.Config(), nil
+		})
+	if err != nil {
+		return bench.Scenario{}, err
+	}
+	if sr.Err != nil {
+		return bench.Scenario{}, sr.Err
+	}
+	if sr.Bug != nil {
+		return bench.Scenario{}, fmt.Errorf("unexpected bug: %v", sr.Bug.Discrepancy)
+	}
+	var maxElapsed time.Duration
+	for _, r := range sr.Workers {
+		if r.Elapsed > maxElapsed {
+			maxElapsed = r.Elapsed
+		}
+	}
+	row := scenarioRow(sr.Ops, sr.GlobalUniqueStates, maxElapsed, sr.Perf)
+	mu.Lock()
+	defer mu.Unlock()
+	for _, s := range sessions {
+		if peak := s.MemoryStats().PeakBytes; peak > row.PeakMemBytes {
+			row.PeakMemBytes = peak
+		}
+	}
+	return row, nil
+}
+
+// benchJournalReplay measures the flight recorder end to end: an
+// exploration recorded to an in-memory journal (the journal phase share
+// is the recording overhead), then the journal replayed against a
+// fresh session for the replay rate.
+func benchJournalReplay(budget int64) (bench.Scenario, error) {
+	opts := Options{
+		Targets:  []TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
+		MaxDepth: 3,
+	}
+	var buf bytes.Buffer
+	jw := journal.NewWriter(&buf, journal.Options{})
+	recOpts := opts
+	recOpts.Journal = jw
+	row, s, _, err := benchRun(recOpts, budget)
+	if err != nil {
+		return row, err
+	}
+	s.Close()
+	if err := jw.Close(); err != nil {
+		return row, err
+	}
+	recs, err := journal.Read(&buf)
+	if err != nil {
+		return row, err
+	}
+	replay, err := NewSession(opts)
+	if err != nil {
+		return row, err
+	}
+	defer replay.Close()
+	rep, err := replay.ReplayJournal(recs)
+	if err != nil {
+		return row, err
+	}
+	if rep.Diverged {
+		return row, fmt.Errorf("replay diverged at %d: %s", rep.DivergedAt, rep.Reason)
+	}
+	if elapsed := replay.Clock().Now(); elapsed > 0 {
+		row.ReplayOpsPerSec = round1(float64(rep.Steps) / elapsed.Seconds())
+	}
+	return row, nil
+}
+
+// round1 and round4 keep the committed report tidy: rates to one
+// decimal, shares to four.
+func round1(v float64) float64 { return math.Round(v*10) / 10 }
+func round4(v float64) float64 { return math.Round(v*10000) / 10000 }

@@ -1,0 +1,80 @@
+package mcfs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mcfs"
+	"mcfs/internal/bench"
+	"mcfs/internal/obs/perf"
+)
+
+func TestBenchReportSuite(t *testing.T) {
+	report, err := mcfs.RunBenchReport(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != bench.SchemaVersion {
+		t.Errorf("schema = %d, want %d", report.Schema, bench.SchemaVersion)
+	}
+	want := []string{
+		"explore-ext2-ext4", "explore-ext4-jffs2", "swarm-shared-visited",
+		"crash-ext2-ext4", "journal-replay",
+	}
+	if len(report.Scenarios) != len(want) {
+		t.Fatalf("scenarios = %d, want %d", len(report.Scenarios), len(want))
+	}
+	for i, name := range want {
+		row := report.Scenarios[i]
+		if row.Name != name {
+			t.Errorf("scenario %d = %q, want %q", i, row.Name, name)
+			continue
+		}
+		if row.Ops == 0 || row.OpsPerSec <= 0 || row.StatesPerSec <= 0 {
+			t.Errorf("%s: empty rates: %+v", name, row)
+		}
+		var sum float64
+		for _, share := range row.PhaseShares {
+			sum += share
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("%s: phase shares sum to %.4f, want ~1", name, sum)
+		}
+	}
+	crash, _ := report.Scenario("crash-ext2-ext4")
+	if crash.CrashPointsPerSec <= 0 {
+		t.Error("crash scenario has no crash-point rate")
+	}
+	if crash.PhaseShares[perf.PhaseFsck] <= 0 {
+		t.Error("crash scenario attributes no fsck time")
+	}
+	replay, _ := report.Scenario("journal-replay")
+	if replay.ReplayOpsPerSec <= 0 {
+		t.Error("journal scenario has no replay rate")
+	}
+	// Journal appends cost no *virtual* time, so the phase's share is
+	// zero — but the recording must have been attributed (the phase
+	// only appears when its timer fired).
+	if _, ok := replay.PhaseShares[perf.PhaseJournal]; !ok {
+		t.Error("journal scenario recorded no journal phase")
+	}
+
+	// The emitted document must round-trip and self-compare clean —
+	// the property the check.sh gate depends on.
+	var buf bytes.Buffer
+	if err := report.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back bench.Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := bench.Compare(report, back, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := bench.Regressions(deltas); len(regs) != 0 {
+		t.Errorf("self-compare regressed: %v", regs)
+	}
+}

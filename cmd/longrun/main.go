@@ -4,7 +4,7 @@
 // Usage:
 //
 //	longrun [-days N] [-samples-per-day N] [-calibration-workers N]
-//	        [-share-visited] [-progress] [-metrics-addr :8080]
+//	        [-share-visited] [-crash] [-progress] [-metrics-addr :8080]
 //	        [-journal file]
 //
 // A short real exploration calibrates the per-operation cost; with
@@ -16,7 +16,10 @@
 // rebound). With -progress every simulated point streams to stderr as it
 // is computed; -metrics-addr serves the calibration run's metrics plus
 // the live figure3.* gauges as JSON; -journal flight-records the
-// calibration exploration to a replayable JSONL file.
+// calibration exploration to a replayable JSONL file. -crash calibrates
+// with crash-consistency checking on the ext pair and adds the crash
+// hot path — crash points per virtual second and the fsck share of
+// attributed time — to every -progress line and the /metrics document.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"mcfs"
 	"mcfs/internal/obs"
 	"mcfs/internal/obs/journal"
+	"mcfs/internal/obs/perf"
 )
 
 func main() {
@@ -34,6 +38,7 @@ func main() {
 	samplesPerDay := flag.Int("samples-per-day", 4, "output samples per day")
 	calWorkers := flag.Int("calibration-workers", 1, "calibrate per-op cost with a swarm of N diversified workers")
 	shareVisited := flag.Bool("share-visited", false, "calibration swarm workers share one visited-state table")
+	crash := flag.Bool("crash", false, "calibrate with crash-consistency checking (ext pair) and report the crash hot path")
 	progress := flag.Bool("progress", false, "stream every simulated point to stderr as it is computed")
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics at this address (/metrics); \":0\" picks a port")
 	journalPath := flag.String("journal", "", "flight-record the calibration exploration to this JSONL file")
@@ -43,6 +48,12 @@ func main() {
 		Days:               *days,
 		CalibrationWorkers: *calWorkers,
 		ShareVisited:       *shareVisited,
+		Crash:              *crash,
+	}
+	var prof *perf.Profiler
+	if *crash {
+		prof = perf.New(nil)
+		cfg.Perf = prof
 	}
 	if *journalPath != "" {
 		jw, err := journal.Create(*journalPath, journal.Options{})
@@ -55,14 +66,30 @@ func main() {
 	}
 	if *progress {
 		cfg.Progress = func(p mcfs.Figure3Point) {
-			fmt.Fprintf(os.Stderr, "progress: day %5.2f  %8.1f ops/s  %6.1f GB swap\n",
+			line := fmt.Sprintf("progress: day %5.2f  %8.1f ops/s  %6.1f GB swap",
 				p.Day, p.OpsPerSec, p.SwapGB)
+			// In crash mode the calibration ran with the crash checker;
+			// surface its hot path next to the simulated series.
+			if snap := prof.Snapshot(); snap.Enabled() {
+				line += fmt.Sprintf("  crash %.1f pts/s  fsck %.1f%%",
+					crashPointsPerSec(snap), snap.Share(perf.PhaseFsck)*100)
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}
 	}
 	if *metricsAddr != "" {
 		hub := obs.New(obs.Options{})
 		cfg.Obs = hub
-		srv, err := obs.ServeMetrics(*metricsAddr, hub.Snapshot)
+		srv, err := obs.ServeMetrics(*metricsAddr, func() any {
+			doc := struct {
+				obs.Snapshot
+				Perf *perf.Snapshot `json:"perf,omitempty"`
+			}{Snapshot: hub.Snapshot()}
+			if snap := prof.Snapshot(); snap.Enabled() {
+				doc.Perf = &snap
+			}
+			return doc
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "longrun: %v\n", err)
 			os.Exit(1)
@@ -107,4 +134,20 @@ func main() {
 	last := points[len(points)-1]
 	fmt.Printf("initial rate %.0f ops/s, minimum %.0f ops/s at day %.1f, final %.0f ops/s, final swap %.1f GB\n",
 		points[0].OpsPerSec, minRate, minDay, last.OpsPerSec, last.SwapGB)
+	if snap := prof.Snapshot(); snap.Enabled() {
+		fmt.Println("\ncalibration phase profile:")
+		snap.WriteTable(os.Stdout)
+	}
+}
+
+// crashPointsPerSec derives the calibration run's overall crash-point
+// rate from the last telemetry sample (cumulative points over virtual
+// elapsed time).
+func crashPointsPerSec(s perf.Snapshot) float64 {
+	if n := len(s.Samples); n > 0 {
+		if last := s.Samples[n-1]; last.At > 0 {
+			return float64(last.CrashPoints) / last.At.Seconds()
+		}
+	}
+	return 0
 }

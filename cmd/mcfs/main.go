@@ -62,6 +62,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -72,7 +73,16 @@ import (
 	"mcfs"
 	"mcfs/internal/obs"
 	"mcfs/internal/obs/journal"
+	"mcfs/internal/obs/perf"
 )
+
+// metricsDoc is the /metrics JSON document: the merged hub snapshot's
+// flat sections (counters, gauges, histograms) plus a "perf" section
+// with the merged phase profile when phase profiling is on.
+type metricsDoc struct {
+	obs.Snapshot
+	Perf *perf.Snapshot `json:"perf,omitempty"`
+}
 
 type stringList []string
 
@@ -116,7 +126,8 @@ func run() int {
 	progress := flag.Duration("progress", 0, "print a status line per engine at this wall-clock interval (0 = off)")
 	stallOps := flag.Int64("stall-ops", 0, "warn when this many ops pass without a novel state (needs -progress)")
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics at this address (/metrics, /debug/pprof/); \":0\" picks a port")
-	traceDump := flag.Bool("trace-dump", false, "dump the cross-layer span trace of a reported bug trail")
+	traceDump := flag.Bool("trace-dump", false, "dump the cross-layer span trace of a reported bug trail (plus the perf phase profile)")
+	phaseProfile := flag.Bool("phase-profile", false, "print the engine phase-time breakdown table at end of run")
 	coverage := flag.Bool("coverage", false, "print the per-(operation, errno) outcome matrix")
 	journalPath := flag.String("journal", "", "record the flight-recorder journal to this JSONL file")
 	bundleDir := flag.String("bundle", "", "write a bug-repro bundle to this directory when a discrepancy is found")
@@ -129,8 +140,10 @@ func run() int {
 	}
 
 	// Observability stays fully off (nil hub, zero overhead) unless a
-	// flag needs it.
+	// flag needs it. Phase profiling likewise: a nil profiler costs one
+	// branch per phase boundary.
 	obsOn := *progress > 0 || *metricsAddr != "" || *traceDump || *bundleDir != ""
+	perfOn := *phaseProfile || *metricsAddr != "" || *traceDump
 
 	// The flight recorder journals to -journal; a -bundle without an
 	// explicit journal records to a scratch file so the bundle still
@@ -156,7 +169,7 @@ func run() int {
 		defer jw.Close()
 	}
 
-	buildOptions := func(hub *obs.Hub) mcfs.Options {
+	buildOptions := func(hub *obs.Hub, prof *perf.Profiler) mcfs.Options {
 		targets := make([]mcfs.TargetSpec, len(fsKinds))
 		for i, kind := range fsKinds {
 			targets[i] = mcfs.TargetSpec{
@@ -176,20 +189,21 @@ func run() int {
 			CrashExploration: *crash,
 			CrashPointsPerOp: *crashPoints,
 			Obs:              hub,
+			Perf:             prof,
 		}
 	}
 
-	// One hub per engine: the single-run case gets one "main" lane, a
-	// swarm gets one lane per worker so the progress report shows every
-	// worker's depth/states/rate separately.
+	// One hub and profiler per engine: the single-run case gets one
+	// "main" lane, a swarm gets one lane per worker so the progress
+	// report shows every worker's depth/states/rate separately.
+	nEngines := *swarm
+	if nEngines <= 0 {
+		nEngines = 1
+	}
 	var hubs []*obs.Hub
 	var lanes []obs.Lane
 	if obsOn {
-		n := *swarm
-		if n <= 0 {
-			n = 1
-		}
-		hubs = make([]*obs.Hub, n)
+		hubs = make([]*obs.Hub, nEngines)
 		for i := range hubs {
 			hubs[i] = obs.New(obs.Options{})
 			name := "main"
@@ -199,14 +213,37 @@ func run() int {
 			lanes = append(lanes, obs.Lane{Name: name, Hub: hubs[i]})
 		}
 	}
+	var perfs []*perf.Profiler
+	if perfOn {
+		perfs = make([]*perf.Profiler, nEngines)
+		for i := range perfs {
+			perfs[i] = perf.New(nil) // sessions rebase onto their virtual clocks
+		}
+	}
+	// mergedPerf folds the per-engine phase profiles into one snapshot
+	// (telemetry samples survive only in the single-engine case).
+	mergedPerf := func() *perf.Snapshot {
+		if !perfOn {
+			return nil
+		}
+		if len(perfs) == 1 {
+			s := perfs[0].Snapshot()
+			return &s
+		}
+		var merged perf.Snapshot
+		for _, p := range perfs {
+			merged = merged.Merge(p.Snapshot())
+		}
+		return &merged
+	}
 
 	if *metricsAddr != "" {
-		srv, err := obs.ServeMetrics(*metricsAddr, func() obs.Snapshot {
+		srv, err := obs.ServeMetrics(*metricsAddr, func() any {
 			snaps := make([]obs.Snapshot, len(hubs))
 			for i, h := range hubs {
 				snaps[i] = h.Snapshot()
 			}
-			return obs.Merge(snaps...)
+			return metricsDoc{Snapshot: obs.Merge(snaps...), Perf: mergedPerf()}
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
@@ -243,7 +280,7 @@ func run() int {
 		if err := jw.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "mcfs: journal: %v\n", err)
 		}
-		opts.Obs, opts.Journal = nil, nil
+		opts.Obs, opts.Journal, opts.Perf = nil, nil, nil
 		if err := mcfs.WriteBundle(*bundleDir, opts, res, jpath, metricsSnap()); err != nil {
 			fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
 			return
@@ -262,7 +299,11 @@ func run() int {
 			if obsOn {
 				hub = hubs[seed-1]
 			}
-			return buildOptions(hub), nil
+			var prof *perf.Profiler
+			if perfOn {
+				prof = perfs[seed-1]
+			}
+			return buildOptions(hub, prof), nil
 		})
 		reporter.Stop()
 		if err != nil {
@@ -294,11 +335,12 @@ func run() int {
 		if *coverage {
 			printCoverage(sr.Coverage, sr.Crash)
 		}
+		printPerf(sr.Perf, *phaseProfile, *traceDump)
 		if sr.Bug != nil {
 			if *bundleDir != "" {
 				// The bug worker's options (its seed included) are what a
 				// replay must rebuild; SwarmRun assigned it seed worker+1.
-				opts := buildOptions(nil)
+				opts := buildOptions(nil, nil)
 				opts.Seed = int64(sr.BugWorker + 1)
 				writeBundle(opts, sr.Workers[sr.BugWorker])
 			}
@@ -314,7 +356,11 @@ func run() int {
 	if obsOn {
 		hub = hubs[0]
 	}
-	opts := buildOptions(hub)
+	var prof *perf.Profiler
+	if perfOn {
+		prof = perfs[0]
+	}
+	opts := buildOptions(hub, prof)
 	opts.Journal = jw
 	session, err := mcfs.NewSession(opts)
 	if err != nil {
@@ -328,6 +374,9 @@ func run() int {
 	fmt.Printf("syscalls executed: %d\n", session.Kernel().SyscallCount())
 	if *coverage {
 		printCoverage(res.Coverage, res.Crash)
+	}
+	if p := mergedPerf(); p != nil {
+		printPerf(*p, *phaseProfile, *traceDump)
 	}
 	if res.Bug != nil {
 		if *bundleDir != "" {
@@ -467,6 +516,26 @@ func printResult(res mcfs.Result, traceDump bool) {
 	if traceDump && len(res.Bug.TrailSpans) > 0 {
 		fmt.Printf("\ncross-layer trace of the trail:\n")
 		obs.WriteTrace(os.Stdout, res.Bug.TrailSpans)
+	}
+}
+
+// printPerf renders the run's phase profile: the human breakdown table
+// under -phase-profile, and the machine-readable JSON document (the
+// same "perf" section /metrics serves) under -trace-dump. Silent when
+// no phase work was recorded.
+func printPerf(snap perf.Snapshot, table, dump bool) {
+	if !snap.Enabled() {
+		return
+	}
+	if table {
+		fmt.Println("\nphase profile:")
+		snap.WriteTable(os.Stdout)
+	}
+	if dump {
+		fmt.Println("\nperf:")
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
 	}
 }
 

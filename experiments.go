@@ -9,6 +9,7 @@ import (
 	"mcfs/internal/memmodel"
 	"mcfs/internal/obs"
 	"mcfs/internal/obs/journal"
+	"mcfs/internal/obs/perf"
 )
 
 // This file regenerates the paper's evaluation (§6): Figure 2's
@@ -235,25 +236,44 @@ type Figure3Config struct {
 	// (every worker, in swarm mode) so even the long-run pipeline leaves
 	// a replayable artifact.
 	Journal *journal.Writer
+	// Crash calibrates with crash-consistency checking enabled. Crash
+	// probing needs a crash plane (snapshotable media), which the
+	// FUSE-backed VeriFS pair does not expose, so the crash calibration
+	// runs the ext2-vs-ext4 pair instead — the configuration whose fsck
+	// and power-cycle costs the profiler is there to surface.
+	Crash bool
+	// Perf, when non-nil, is threaded into the calibration exploration
+	// (the first worker, in swarm mode) so long runs can report phase
+	// shares and crash-point rates alongside the simulated series.
+	Perf *perf.Profiler
 }
 
-// measureVeriFS1 runs a short real exploration to extract the base
-// per-operation cost and concrete-state size for Figure 3. With
+// measureBasePerOp runs a short real exploration to extract the base
+// per-operation cost and concrete-state size for Figure 3 — the VeriFS
+// pair normally, the crash-plane-capable ext pair in crash mode. With
 // workers > 1 the measurement is a coordinated swarm and the per-op
 // cost averages over every worker's (virtual) exploration time.
-func measureVeriFS1(hub *obs.Hub, jw *journal.Writer, workers int, share bool) (time.Duration, int64, error) {
+func measureBasePerOp(cfg Figure3Config) (time.Duration, int64, error) {
+	hub, jw := cfg.Obs, cfg.Journal
+	workers, share := cfg.CalibrationWorkers, cfg.ShareVisited
 	calOptions := func(seed int64) Options {
-		return Options{
+		o := Options{
 			Targets:  []TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
 			MaxDepth: 4,
 			MaxOps:   400,
 			Seed:     seed,
 		}
+		if cfg.Crash {
+			o.Targets = []TargetSpec{{Kind: "ext2"}, {Kind: "ext4"}}
+			o.CrashExploration = true
+		}
+		return o
 	}
 	if workers <= 1 {
 		o := calOptions(0)
 		o.Obs = hub
 		o.Journal = jw
+		o.Perf = cfg.Perf
 		s, err := NewSession(o)
 		if err != nil {
 			return 0, 0, err
@@ -282,9 +302,10 @@ func measureVeriFS1(hub *obs.Hub, jw *journal.Writer, workers int, share bool) (
 		func(seed int64) (mc.Config, error) {
 			o := calOptions(seed)
 			if seed == 1 {
-				// The hub rebases onto one session's virtual clock, so
-				// only the first worker carries it.
+				// The hub and profiler rebase onto one session's virtual
+				// clock, so only the first worker carries them.
 				o.Obs = hub
+				o.Perf = cfg.Perf
 			}
 			s, err := NewSession(o)
 			if err != nil {
@@ -338,7 +359,7 @@ func RunFigure3(cfg Figure3Config) ([]Figure3Point, error) {
 		cfg.Days = 14
 	}
 	if cfg.BasePerOp == 0 || cfg.StateBytes == 0 {
-		perOp, stateBytes, err := measureVeriFS1(cfg.Obs, cfg.Journal, cfg.CalibrationWorkers, cfg.ShareVisited)
+		perOp, stateBytes, err := measureBasePerOp(cfg)
 		if err != nil {
 			return nil, err
 		}

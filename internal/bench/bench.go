@@ -1,0 +1,206 @@
+// Package bench defines the committed benchmark trajectory: the
+// versioned machine-readable schema `cmd/fsbench -json` emits
+// (BENCH_mc.json), and the structural comparison `fsbench -compare`
+// gates on.
+//
+// The paper's headline claim is model-checking speed (Figure 2), so
+// speed claims here are tracked, not asserted: every PR regenerates the
+// report and diffs it against the committed trajectory point. All rates
+// are in operations per *virtual* second from the calibrated cost model
+// — deterministic for a given tree, so a drop beyond tolerance is a
+// real cost-model or engine change, not machine noise. The tolerance
+// exists for intentional recalibrations and for smoke runs at a smaller
+// operation budget than the committed point.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// SchemaVersion is bumped whenever the report layout changes
+// incompatibly; Compare refuses to diff across versions.
+const SchemaVersion = 1
+
+// DefaultTolerance is the fractional rate drop (and memory growth)
+// Compare flags as a regression when the caller passes no tolerance.
+const DefaultTolerance = 0.10
+
+// Report is one benchmark trajectory point.
+type Report struct {
+	// Schema is the report layout version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Budget is the per-scenario operation budget the report ran at.
+	Budget int64 `json:"budget"`
+	// Scenarios holds one row per benchmark scenario, in suite order.
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+// Scenario is one benchmark row: a named exploration configuration and
+// its measured rates, phase attribution, and memory high-water mark.
+type Scenario struct {
+	// Name identifies the scenario ("explore-ext2-ext4", ...).
+	Name string `json:"name"`
+	// Ops and UniqueStates describe the run that produced the rates.
+	Ops          int64 `json:"ops"`
+	UniqueStates int64 `json:"unique_states"`
+	// OpsPerSec and StatesPerSec are per virtual second.
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	StatesPerSec float64 `json:"states_per_sec"`
+	// CrashPointsPerSec is the crash-oracle probe rate (crash scenarios
+	// only).
+	CrashPointsPerSec float64 `json:"crash_points_per_sec,omitempty"`
+	// ReplayOpsPerSec is the flight-recorder replay rate (journal
+	// scenario only).
+	ReplayOpsPerSec float64 `json:"replay_ops_per_sec,omitempty"`
+	// PeakMemBytes is the memory model's footprint high-water mark.
+	PeakMemBytes int64 `json:"peak_mem_bytes,omitempty"`
+	// PhaseShares is each engine phase's fraction of attributed time.
+	PhaseShares map[string]float64 `json:"phase_shares,omitempty"`
+}
+
+// Scenario returns the named row.
+func (r Report) Scenario(name string) (Scenario, bool) {
+	for _, s := range r.Scenarios {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Load reads a report from path.
+func Load(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Encode writes the report as indented JSON (the committed form).
+func (r Report) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Delta is one compared field between two trajectory points.
+type Delta struct {
+	// Scenario and Field locate the comparison ("explore-ext2-ext4",
+	// "ops_per_sec"). Field "scenario" marks a structurally missing row.
+	Scenario string
+	Field    string
+	// Old and New are the compared values; Change is the fractional
+	// change (New-Old)/Old.
+	Old, New float64
+	Change   float64
+	// Regression marks a change past tolerance in the bad direction:
+	// a rate drop, a memory growth, or a missing scenario.
+	Regression bool
+}
+
+func (d Delta) String() string {
+	verdict := "ok"
+	if d.Regression {
+		verdict = "REGRESSION"
+	}
+	if d.Field == "scenario" {
+		return fmt.Sprintf("%-24s %-20s missing from new report            %s",
+			d.Scenario, d.Field, verdict)
+	}
+	return fmt.Sprintf("%-24s %-20s %12.1f -> %12.1f (%+6.1f%%) %s",
+		d.Scenario, d.Field, d.Old, d.New, d.Change*100, verdict)
+}
+
+// Compare structurally diffs two reports: every scenario of old must
+// exist in cur, rates must not drop by more than tol, and peak memory
+// must not grow by more than tol. Phase-share drifts larger than tol
+// (absolute) are reported as informational deltas, never regressions —
+// attribution shifts accompany legitimate optimizations. tol <= 0 means
+// DefaultTolerance. Scenarios only present in cur are ignored (new
+// scenarios are not regressions).
+func Compare(old, cur Report, tol float64) ([]Delta, error) {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	if old.Schema != cur.Schema {
+		return nil, fmt.Errorf("bench: schema mismatch: old v%d vs new v%d", old.Schema, cur.Schema)
+	}
+	var deltas []Delta
+	for _, os := range old.Scenarios {
+		ns, ok := cur.Scenario(os.Name)
+		if !ok {
+			deltas = append(deltas, Delta{Scenario: os.Name, Field: "scenario", Regression: true})
+			continue
+		}
+		deltas = append(deltas,
+			rateDelta(os.Name, "ops_per_sec", os.OpsPerSec, ns.OpsPerSec, tol),
+			rateDelta(os.Name, "states_per_sec", os.StatesPerSec, ns.StatesPerSec, tol))
+		if os.CrashPointsPerSec > 0 {
+			deltas = append(deltas,
+				rateDelta(os.Name, "crash_points_per_sec", os.CrashPointsPerSec, ns.CrashPointsPerSec, tol))
+		}
+		if os.ReplayOpsPerSec > 0 {
+			deltas = append(deltas,
+				rateDelta(os.Name, "replay_ops_per_sec", os.ReplayOpsPerSec, ns.ReplayOpsPerSec, tol))
+		}
+		if os.PeakMemBytes > 0 {
+			d := Delta{
+				Scenario: os.Name, Field: "peak_mem_bytes",
+				Old: float64(os.PeakMemBytes), New: float64(ns.PeakMemBytes),
+			}
+			d.Change = change(d.Old, d.New)
+			d.Regression = d.Change > tol
+			deltas = append(deltas, d)
+		}
+		phases := make([]string, 0, len(os.PhaseShares))
+		for phase := range os.PhaseShares {
+			phases = append(phases, phase)
+		}
+		sort.Strings(phases)
+		for _, phase := range phases {
+			oldShare, newShare := os.PhaseShares[phase], ns.PhaseShares[phase]
+			if diff := newShare - oldShare; diff > tol || diff < -tol {
+				deltas = append(deltas, Delta{
+					Scenario: os.Name, Field: "share_" + phase,
+					Old: oldShare, New: newShare, Change: diff,
+				})
+			}
+		}
+	}
+	return deltas, nil
+}
+
+// Regressions filters deltas down to the gating ones.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// rateDelta compares a higher-is-better rate.
+func rateDelta(scenario, field string, old, cur, tol float64) Delta {
+	d := Delta{Scenario: scenario, Field: field, Old: old, New: cur}
+	d.Change = change(old, cur)
+	d.Regression = d.Change < -tol
+	return d
+}
+
+func change(old, cur float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (cur - old) / old
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleReport() Report {
+	return Report{
+		Schema: SchemaVersion,
+		Budget: 400,
+		Scenarios: []Scenario{
+			{
+				Name: "explore-ext2-ext4", Ops: 400, UniqueStates: 120,
+				OpsPerSec: 1000, StatesPerSec: 300, PeakMemBytes: 1 << 20,
+				PhaseShares: map[string]float64{"execute": 0.5, "hash": 0.2},
+			},
+			{
+				Name: "crash-ext2-ext4", Ops: 200, UniqueStates: 50,
+				OpsPerSec: 100, StatesPerSec: 25, CrashPointsPerSec: 40,
+				PhaseShares: map[string]float64{"fsck": 0.3},
+			},
+		},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	if err := r.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SchemaVersion || back.Budget != 400 || len(back.Scenarios) != 2 {
+		t.Fatalf("round trip lost structure: %+v", back)
+	}
+	s, ok := back.Scenario("crash-ext2-ext4")
+	if !ok || s.CrashPointsPerSec != 40 || s.PhaseShares["fsck"] != 0.3 {
+		t.Errorf("crash scenario = %+v", s)
+	}
+}
+
+func TestSelfComparePasses(t *testing.T) {
+	r := sampleReport()
+	deltas, err := Compare(r, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Errorf("self-compare regressed: %v", regs)
+	}
+}
+
+func TestSlowedRunFails(t *testing.T) {
+	old, cur := sampleReport(), sampleReport()
+	// A synthetically slowed run: 30% rate drop on one scenario.
+	cur.Scenarios[0].OpsPerSec *= 0.7
+	deltas, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Field != "ops_per_sec" {
+		t.Fatalf("regressions = %v, want one ops_per_sec", regs)
+	}
+	if got := regs[0].Change; got > -0.29 || got < -0.31 {
+		t.Errorf("change = %.3f, want ~-0.30", got)
+	}
+	if !strings.Contains(regs[0].String(), "REGRESSION") {
+		t.Errorf("delta string %q lacks REGRESSION", regs[0].String())
+	}
+}
+
+func TestDropWithinToleranceOK(t *testing.T) {
+	old, cur := sampleReport(), sampleReport()
+	cur.Scenarios[0].OpsPerSec *= 0.95
+	deltas, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Errorf("5%% drop at 10%% tolerance regressed: %v", regs)
+	}
+}
+
+func TestMissingScenarioIsRegression(t *testing.T) {
+	old, cur := sampleReport(), sampleReport()
+	cur.Scenarios = cur.Scenarios[:1]
+	deltas, err := Compare(old, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Field != "scenario" || regs[0].Scenario != "crash-ext2-ext4" {
+		t.Errorf("regressions = %v, want missing crash-ext2-ext4", regs)
+	}
+	// New scenarios in cur are not regressions.
+	deltas, err = Compare(cur, old, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Errorf("extra scenario flagged: %v", regs)
+	}
+}
+
+func TestMemoryGrowthIsRegression(t *testing.T) {
+	old, cur := sampleReport(), sampleReport()
+	cur.Scenarios[0].PeakMemBytes *= 2
+	deltas, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Field != "peak_mem_bytes" {
+		t.Errorf("regressions = %v, want one peak_mem_bytes", regs)
+	}
+}
+
+func TestPhaseShareDriftInformational(t *testing.T) {
+	old, cur := sampleReport(), sampleReport()
+	cur.Scenarios[0].PhaseShares = map[string]float64{"execute": 0.1, "hash": 0.6}
+	deltas, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shares int
+	for _, d := range deltas {
+		if strings.HasPrefix(d.Field, "share_") {
+			shares++
+			if d.Regression {
+				t.Errorf("phase-share delta gated: %v", d)
+			}
+		}
+	}
+	if shares != 2 {
+		t.Errorf("share deltas = %d, want 2", shares)
+	}
+}
+
+func TestSchemaMismatchRefused(t *testing.T) {
+	old, cur := sampleReport(), sampleReport()
+	cur.Schema++
+	if _, err := Compare(old, cur, 0); err == nil {
+		t.Error("cross-schema compare accepted")
+	}
+}

@@ -227,6 +227,7 @@ func Analyzers() []*Analyzer {
 			Targets: map[string][]string{
 				"mcfs/internal/obs":         {"Hub", "Counter", "Gauge", "Histogram", "Reporter"},
 				"mcfs/internal/obs/journal": {"Writer", "Recorder"},
+				"mcfs/internal/obs/perf":    {"Profiler"},
 			},
 		}),
 	}

@@ -7,6 +7,7 @@ import (
 	"mcfs"
 	"mcfs/internal/obs"
 	"mcfs/internal/obs/journal"
+	"mcfs/internal/obs/perf"
 )
 
 // benchExplore runs one bounded exploration per iteration. Comparing the
@@ -42,6 +43,34 @@ func BenchmarkExploreNilObs(b *testing.B) {
 
 func BenchmarkExploreWithObs(b *testing.B) {
 	benchExplore(b, func() *obs.Hub { return obs.New(obs.Options{}) })
+}
+
+// BenchmarkExploreWithPerf measures the phase profiler's hot-path cost.
+// Compare against BenchmarkExploreNilObs: the nil-profiler path (covered
+// by NilObs, whose session carries neither hub nor profiler) must stay
+// within noise of seed speed, and this variant shows what the per-phase
+// timers add.
+func BenchmarkExploreWithPerf(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := mcfs.NewSession(mcfs.Options{
+			Targets:  []mcfs.TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
+			MaxDepth: 2,
+			MaxOps:   300,
+			Perf:     perf.New(nil),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := s.Run()
+		s.Close()
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if res.Bug != nil {
+			b.Fatalf("unexpected bug: %v", res.Bug)
+		}
+	}
 }
 
 // BenchmarkExploreWithJournal measures the flight recorder's hot-path

@@ -28,6 +28,7 @@ import (
 	"mcfs/internal/errno"
 	"mcfs/internal/fault"
 	"mcfs/internal/obs/journal"
+	"mcfs/internal/obs/perf"
 	"mcfs/internal/workload"
 )
 
@@ -138,15 +139,22 @@ func crashPoints(w, m int) []int {
 // nothing armed). It returns the window's write count. The operation's
 // errno is irrelevant here — failing operations have write windows too.
 func crashWindow(cfg *Config, p *CrashPlane, op workload.Op, k int) (int, error) {
+	mt := cfg.Perf.Start(perf.PhaseRemount)
 	if err := p.PreOp(); err != nil {
+		mt.End()
 		return 0, fmt.Errorf("pre-op: %w", err)
 	}
+	mt.End()
 	p.Injector.StartWindow()
 	if k >= 0 {
 		p.Injector.ArmCrash(k)
 	}
+	et := cfg.Perf.Start(perf.PhaseExecute)
 	workload.Execute(cfg.Kernel, p.Mount, op)
+	et.End()
+	mt = cfg.Perf.Start(perf.PhaseRemount)
 	err := p.PostOp()
+	mt.End()
 	p.Injector.EndWindow()
 	if err != nil {
 		p.Injector.Disarm()
@@ -159,10 +167,14 @@ func crashWindow(cfg *Config, p *CrashPlane, op workload.Op, k int) (int, error)
 // the recovered state: recovery must succeed, fsck must be clean, and —
 // for strict planes — the recovered metadata state must equal the
 // pre-op (b0) or post-op (b1) state. Returns nil when recovery is
-// consistent.
-func crashOracle(p *CrashPlane, op workload.Op, k, w int, img []byte, b0, b1 abstraction.State) *checker.Discrepancy {
+// consistent. pf (nil-safe) attributes the oracle's time: recovery
+// mounts to remount, integrity checking to fsck, state hashing to hash.
+func crashOracle(pf *perf.Profiler, p *CrashPlane, op workload.Op, k, w int, img []byte, b0, b1 abstraction.State) *checker.Discrepancy {
 	where := fmt.Sprintf("%s: crash after write %d/%d of %s", p.Name, k+1, w, op)
-	if err := p.PowerCycle(img); err != nil {
+	mt := pf.Start(perf.PhaseRemount)
+	err := p.PowerCycle(img)
+	mt.End()
+	if err != nil {
 		return &checker.Discrepancy{
 			Kind: KindCrashConsistency,
 			Op:   op.String(),
@@ -173,7 +185,10 @@ func crashOracle(p *CrashPlane, op workload.Op, k, w int, img []byte, b0, b1 abs
 		}
 	}
 	if p.Fsck != nil {
-		if probs := p.Fsck(); len(probs) > 0 {
+		ft := pf.Start(perf.PhaseFsck)
+		probs := p.Fsck()
+		ft.End()
+		if len(probs) > 0 {
 			return &checker.Discrepancy{
 				Kind:    KindCrashConsistency,
 				Op:      op.String(),
@@ -182,7 +197,9 @@ func crashOracle(p *CrashPlane, op workload.Op, k, w int, img []byte, b0, b1 abs
 		}
 	}
 	if p.Strict {
+		ht := pf.Start(perf.PhaseHash)
 		r, er := p.MetaHash()
+		ht.End()
 		if er != errno.OK {
 			return &checker.Discrepancy{
 				Kind: KindCrashConsistency,
@@ -238,11 +255,15 @@ func (e *engine) crashProbe(depth int, op workload.Op) error {
 // probePlane measures op's write window on one plane, then crash-tests
 // the sampled points.
 func (e *engine) probePlane(depth int, op workload.Op, p *CrashPlane) error {
+	ct := e.cfg.Perf.Start(perf.PhaseCheckpoint)
 	pre, err := p.Snapshot()
+	ct.End()
 	if err != nil {
 		return err
 	}
+	ht := e.cfg.Perf.Start(perf.PhaseHash)
 	b0, er := p.MetaHash()
+	ht.End()
 	if er != errno.OK {
 		return fmt.Errorf("hashing pre-op state: %w", er)
 	}
@@ -252,11 +273,13 @@ func (e *engine) probePlane(depth int, op workload.Op, p *CrashPlane) error {
 		return err
 	}
 	e.countCrashExec()
+	ht = e.cfg.Perf.Start(perf.PhaseHash)
 	b1, er := p.MetaHash()
+	ht.End()
 	if er != errno.OK {
 		return fmt.Errorf("hashing post-op state: %w", er)
 	}
-	if err := p.Restore(pre); err != nil {
+	if err := e.restorePlane(p, pre); err != nil {
 		return fmt.Errorf("rolling back measurement run: %w", err)
 	}
 	e.crashStats.Probes++
@@ -285,7 +308,7 @@ func (e *engine) probePlane(depth int, op workload.Op, p *CrashPlane) error {
 		if img == nil {
 			// The armed write never happened (a fault rule erred the op
 			// short of write k, or the window shrank): nothing to test.
-			if err := p.Restore(pre); err != nil {
+			if err := e.restorePlane(p, pre); err != nil {
 				return fmt.Errorf("rolling back crash run: %w", err)
 			}
 			continue
@@ -294,8 +317,8 @@ func (e *engine) probePlane(depth int, op workload.Op, p *CrashPlane) error {
 		if e.eobs != nil {
 			e.eobs.crashPoints.Inc()
 		}
-		d := crashOracle(p, op, k, w, img, b0, b1)
-		if err := p.Restore(pre); err != nil {
+		d := crashOracle(e.cfg.Perf, p, op, k, w, img, b0, b1)
+		if err := e.restorePlane(p, pre); err != nil {
 			return fmt.Errorf("rolling back crash run: %w", err)
 		}
 		if d != nil {
@@ -326,6 +349,17 @@ func (e *engine) countCrashExec() {
 	if e.eobs != nil {
 		e.eobs.ops.Inc()
 	}
+	e.cfg.Perf.Observe(e.executed, e.unique, e.revisits,
+		e.crashStats.PointsExplored, len(e.trail))
+}
+
+// restorePlane rolls the plane's device image back, attributing the
+// rollback to the restore phase.
+func (e *engine) restorePlane(p *CrashPlane, img []byte) error {
+	rt := e.cfg.Perf.Start(perf.PhaseRestore)
+	err := p.Restore(img)
+	rt.End()
+	return err
 }
 
 // replayCrashSpec re-runs the crash test for one (op, plane, write)
@@ -370,7 +404,7 @@ func replayCrashSpec(cfg Config, op workload.Op, spec *journal.CrashSpec) (*chec
 		}
 		return nil, nil
 	}
-	d := crashOracle(p, op, spec.Write, w, img, b0, b1)
+	d := crashOracle(cfg.Perf, p, op, spec.Write, w, img, b0, b1)
 	if err := p.Restore(pre); err != nil {
 		return nil, fmt.Errorf("mc: crash replay: %w", err)
 	}

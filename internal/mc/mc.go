@@ -32,6 +32,7 @@ import (
 	"mcfs/internal/memmodel"
 	"mcfs/internal/obs"
 	"mcfs/internal/obs/journal"
+	"mcfs/internal/obs/perf"
 	"mcfs/internal/simclock"
 	"mcfs/internal/tracker"
 	"mcfs/internal/workload"
@@ -79,6 +80,12 @@ type Config struct {
 	// All instrumentation is nil-safe: a nil Obs costs one branch per
 	// operation and nothing else.
 	Obs *obs.Hub
+	// Perf, when set, receives phase-level time attribution (checkpoint,
+	// execute, verify, restore, hash, fsck, remount, journal) and
+	// per-N-ops state-space telemetry (novelty decay, frontier depth,
+	// duplicate rate, crash points/sec). Nil-safe: a nil profiler costs
+	// one branch per phase boundary.
+	Perf *perf.Profiler
 	// Cancel, when set, is polled between operations: once the token
 	// fires (a swarm peer found a bug or failed, or the caller aborted)
 	// the engine stops promptly and returns a partial Result with
@@ -658,6 +665,7 @@ func (e *engine) dfs(depth int) error {
 		key := e.nextKey
 		e.nextKey++
 		var err error
+		ct := e.cfg.Perf.Start(perf.PhaseCheckpoint)
 		for i, t := range e.cfg.Trackers {
 			if err = t.Checkpoint(key); err != nil {
 				e.discardCheckpoints(key, e.cfg.Trackers[:i])
@@ -665,6 +673,7 @@ func (e *engine) dfs(depth int) error {
 				break
 			}
 		}
+		ct.End()
 		if err == nil {
 			e.storeStateCost()
 			// Crash exploration probes the op's write window (and leaves
@@ -689,6 +698,7 @@ func (e *engine) dfs(depth int) error {
 		if e.bug != nil {
 			e.attachTrailTrace()
 			if e.cfg.Journal.Enabled() {
+				jt := e.cfg.Perf.Start(perf.PhaseJournal)
 				// The bug op gets no state hash (the discrepancy halts
 				// hashing); the bug record that follows carries the
 				// trail and forces the journal to stable storage. A
@@ -705,11 +715,14 @@ func (e *engine) dfs(depth int) error {
 					OpsExecuted: e.bug.OpsExecuted,
 					Crash:       e.bug.Crash,
 				})
+				jt.End()
 			}
 		}
 
 		if e.bug == nil {
+			ht := e.cfg.Perf.Start(perf.PhaseHash)
 			h, er := e.cfg.Checker.StateHash()
+			ht.End()
 			if er != errno.OK {
 				e.discardCheckpoints(key, e.cfg.Trackers)
 				return fmt.Errorf("mc: hashing state: %w", er)
@@ -730,8 +743,10 @@ func (e *engine) dfs(depth int) error {
 				}
 			}
 			if e.cfg.Journal.Enabled() {
+				jt := e.cfg.Perf.Start(perf.PhaseJournal)
 				e.cfg.Journal.Op(depth, journal.EncodeOp(op), e.lastErrnos,
 					fmt.Sprintf("%x", h[:]), novel, expand)
+				jt.End()
 			}
 			if !expand {
 				e.revisits++
@@ -768,16 +783,23 @@ func (e *engine) dfs(depth int) error {
 		// consumes the image; on failure, discard what the remaining
 		// trackers (and the failed one, best-effort) still hold.
 		e.fetchStateCost()
+		rt := e.cfg.Perf.Start(perf.PhaseRestore)
 		for i, t := range e.cfg.Trackers {
 			if err := t.Restore(key); err != nil {
+				rt.End()
 				e.discardCheckpoints(key, e.cfg.Trackers[i:])
 				return fmt.Errorf("mc: restore %s: %w", t.Name(), err)
 			}
 		}
+		rt.End()
 		if e.cfg.Mem != nil {
 			e.cfg.Mem.Release(e.stateBytes())
 		}
-		e.cfg.Journal.Backtrack(depth)
+		if e.cfg.Journal.Enabled() {
+			jt := e.cfg.Perf.Start(perf.PhaseJournal)
+			e.cfg.Journal.Backtrack(depth)
+			jt.End()
+		}
 		if e.bug != nil || e.exhausted || e.canceled {
 			return nil
 		}
@@ -789,24 +811,34 @@ func (e *engine) dfs(depth int) error {
 // checks, recording a bug report on discrepancy.
 func (e *engine) step(op workload.Op) error {
 	targets := e.cfg.Checker.Targets()
+	mt := e.cfg.Perf.Start(perf.PhaseRemount)
 	for _, t := range e.cfg.Trackers {
 		if err := t.PreOp(); err != nil {
+			mt.End()
 			return fmt.Errorf("mc: pre-op %s: %w", t.Name(), err)
 		}
 	}
+	mt.End()
+	et := e.cfg.Perf.Start(perf.PhaseExecute)
 	results := make([]checker.OpResult, len(targets))
 	for i, tgt := range targets {
 		results[i] = workload.Execute(e.cfg.Kernel, tgt.MountPoint, op)
 	}
+	et.End()
+	mt = e.cfg.Perf.Start(perf.PhaseRemount)
 	for _, t := range e.cfg.Trackers {
 		if err := t.PostOp(); err != nil {
+			mt.End()
 			return fmt.Errorf("mc: post-op %s: %w", t.Name(), err)
 		}
 	}
+	mt.End()
 	e.executed++
 	if e.eobs != nil {
 		e.eobs.ops.Inc()
 	}
+	e.cfg.Perf.Observe(e.executed, e.unique, e.revisits,
+		e.crashStats.PointsExplored, len(e.trail))
 	opName := op.Kind.String()
 	e.coverage.ByOp[opName]++
 	pairs := e.coverage.ByOpErrno[opName]
@@ -827,6 +859,8 @@ func (e *engine) step(op workload.Op) error {
 		}
 	}
 
+	vt := e.cfg.Perf.Start(perf.PhaseVerify)
+	defer vt.End()
 	var d *checker.Discrepancy
 	if e.cfg.MajorityVote {
 		d = e.cfg.Checker.CheckResultsMajority(op.String(), results)

@@ -282,7 +282,7 @@ func replayCrashRecord(cfg Config, op workload.Op, rec *journal.CrashRecord) (*c
 			}
 			continue
 		}
-		d := crashOracle(p, op, k, w, img, b0, b1)
+		d := crashOracle(cfg.Perf, p, op, k, w, img, b0, b1)
 		if err := p.Restore(pre); err != nil {
 			return nil, fmt.Errorf("rolling back crash run: %w", err)
 		}

@@ -32,6 +32,7 @@ import (
 	"mcfs/internal/memmodel"
 	"mcfs/internal/obs"
 	"mcfs/internal/obs/journal"
+	"mcfs/internal/obs/perf"
 )
 
 // Cancel is a lightweight cancellation token shared by swarm workers.
@@ -289,6 +290,11 @@ type SwarmResult struct {
 	// Metrics merges the per-worker observability hub snapshots
 	// (obs.Merge); zero-valued when no worker Config carried a hub.
 	Metrics obs.Snapshot
+	// Perf merges the per-worker phase profiles (perf.Snapshot.Merge);
+	// telemetry samples are dropped on merge — workers sample on
+	// independent virtual clocks. Zero-valued when no worker Config
+	// carried a profiler.
+	Perf perf.Snapshot
 	// Elapsed is the maximum per-worker virtual time — the parallel
 	// swarm's makespan on independent virtual clocks.
 	Elapsed time.Duration
@@ -335,6 +341,7 @@ func SwarmRun(opts SwarmOptions, factory func(seed int64) (Config, error)) (Swar
 	var (
 		results    = make([]Result, n)
 		hubs       = make([]*obs.Hub, n)
+		profilers  = make([]*perf.Profiler, n)
 		sem        = make(chan struct{}, par)
 		wg         sync.WaitGroup
 		mu         sync.Mutex // guards the fields below
@@ -375,6 +382,7 @@ func SwarmRun(opts SwarmOptions, factory func(seed int64) (Config, error)) (Swar
 				cfg.Journal = opts.Journal.Recorder(w + 1)
 			}
 			hubs[w] = cfg.Obs
+			profilers[w] = cfg.Perf
 			res := runWorker(cfg)
 			results[w] = res
 			if res.Bug != nil {
@@ -414,6 +422,11 @@ func SwarmRun(opts SwarmOptions, factory func(seed int64) (Config, error)) (Swar
 	}
 	if len(snaps) > 0 {
 		sr.Metrics = obs.Merge(snaps...)
+	}
+	for _, p := range profilers {
+		if p != nil {
+			sr.Perf = sr.Perf.Merge(p.Snapshot())
+		}
 	}
 	if factoryErr != nil {
 		return sr, factoryErr

@@ -81,6 +81,7 @@ type Model struct {
 	entries     int64 // visited-table entries
 	slots       int64 // visited-table capacity
 	resizes     int   // number of table resizes so far
+	peakBytes   int64 // high-water mark of the total footprint
 
 	// sharedVisited is the footprint charged by a shared swarm visited
 	// table (SharedVisited.AttachMem). Atomic: any worker's discovery
@@ -120,6 +121,15 @@ func (m *Model) rand() float64 {
 // tableBytes is the visited table's current footprint.
 func (m *Model) tableBytes() int64 { return m.slots * m.cfg.SlotBytes }
 
+// notePeak updates the footprint high-water mark. Called from the
+// owner's mutating paths only (Store, InsertVisited), so the peak —
+// like the rest of the occupancy fields — needs no synchronization.
+func (m *Model) notePeak() {
+	if fp := m.storedBytes + m.tableBytes() + m.sharedVisited.Load(); fp > m.peakBytes {
+		m.peakBytes = fp
+	}
+}
+
 // ramAvailable is the RAM left for concrete states after the local
 // visited table and any shared swarm table.
 func (m *Model) ramAvailable() int64 {
@@ -147,6 +157,7 @@ func (m *Model) Store(n int64) error {
 		return nil
 	}
 	m.storedBytes += n
+	m.notePeak()
 	overflow := m.storedBytes - m.ramAvailable()
 	if overflow > m.swapBytes {
 		newSwap := overflow - m.swapBytes
@@ -198,6 +209,7 @@ func (m *Model) Fetch(n int64, hotness float64) {
 // crosses 3/4 — Spin's hash-table resize, the Figure 3 throughput crash.
 func (m *Model) InsertVisited() {
 	m.entries++
+	defer m.notePeak()
 	if m.entries*4 > m.slots*3 {
 		m.charge(time.Duration(m.entries) * m.cfg.RehashPerEntry)
 		// During the resize both tables exist: transient pressure pushes
@@ -228,6 +240,10 @@ type Stats struct {
 	// table this model is attached to (zero outside shared-table swarm
 	// runs). It is charged against the RAM budget like the local table.
 	SharedVisitedBytes int64
+	// PeakBytes is the high-water mark of the total footprint (stored
+	// states + visited table + shared table), including transient resize
+	// pressure — the number benchmark trajectories track.
+	PeakBytes int64
 }
 
 // Stats returns a snapshot of the model.
@@ -239,5 +255,6 @@ func (m *Model) Stats() Stats {
 		Slots:              m.slots,
 		Resizes:            m.resizes,
 		SharedVisitedBytes: m.sharedVisited.Load(),
+		PeakBytes:          m.peakBytes,
 	}
 }

@@ -206,3 +206,32 @@ func TestSharedVisitedAccounting(t *testing.T) {
 		t.Errorf("after concurrent growth: %d, want %d", got, want)
 	}
 }
+
+func TestPeakBytesHighWaterMark(t *testing.T) {
+	m := New(Config{RAMBytes: 1 << 20, InitialSlots: 4, SlotBytes: 24}, nil)
+	if p := m.Stats().PeakBytes; p != 0 {
+		t.Errorf("fresh model peak = %d, want 0", p)
+	}
+	if err := m.Store(1000); err != nil {
+		t.Fatal(err)
+	}
+	peak := m.Stats().PeakBytes
+	if want := int64(1000 + 4*24); peak != want {
+		t.Errorf("peak after store = %d, want %d", peak, want)
+	}
+	// Releasing state must not lower the high-water mark.
+	m.Release(1000)
+	if err := m.Store(500); err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Stats().PeakBytes; p != peak {
+		t.Errorf("peak after release+smaller store = %d, want %d", p, peak)
+	}
+	// Table growth raises the footprint past the old mark.
+	for i := 0; i < 50; i++ {
+		m.InsertVisited()
+	}
+	if p := m.Stats().PeakBytes; p <= peak {
+		t.Errorf("peak after table growth = %d, want > %d", p, peak)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -18,25 +19,38 @@ type MetricsServer struct {
 	srv *http.Server
 }
 
-// ServeMetrics binds addr and serves snap() at /metrics plus pprof at
-// /debug/pprof/ until Close. An addr of ":0" picks a free port; read
-// the result's Addr for the bound address.
-func ServeMetrics(addr string, snap func() Snapshot) (*MetricsServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+// MetricsMux builds the handler a MetricsServer serves: snap()'s value
+// as indented JSON at /metrics (any JSON-marshalable document — a plain
+// Snapshot, or a wrapper adding sections like the CLI's perf block)
+// plus the standard pprof handlers under /debug/pprof/. Exposed so
+// callers embedding the routes in their own server (and tests driving
+// them through httptest) share one route table with ServeMetrics.
+func MetricsMux(snap func() any) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = snap().WriteJSON(w)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return mux
+}
+
+// ServeMetrics binds addr and serves snap() at /metrics plus pprof at
+// /debug/pprof/ until Close. An addr of ":0" picks a free port; read
+// the result's Addr for the bound address. The snapshot document is any
+// JSON-marshalable value (MetricsMux).
+func ServeMetrics(addr string, snap func() any) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: MetricsMux(snap), ReadHeaderTimeout: 5 * time.Second}
 	m := &MetricsServer{Addr: ln.Addr().String(), ln: ln, srv: srv}
 	go func() { _ = srv.Serve(ln) }()
 	return m, nil

@@ -112,6 +112,11 @@ func newHistogram() *Histogram {
 	return h
 }
 
+// NewHistogram returns a standalone histogram not owned by any hub.
+// Components that pre-build a fixed instrument set (the perf phase
+// profiler) use it; hub-owned histograms come from Hub.Histogram.
+func NewHistogram() *Histogram { return newHistogram() }
+
 // Observe records one latency sample. Negative durations clamp to zero
 // (virtual clocks never refund time, but guard anyway).
 func (h *Histogram) Observe(d time.Duration) {
@@ -197,9 +202,59 @@ func (s HistogramSnapshot) Mean() time.Duration {
 	return s.Sum / time.Duration(s.Count)
 }
 
+// Quantile estimates the q'th quantile (0 <= q <= 1) of the recorded
+// samples from the bucket counts: the cumulative counts locate the
+// bucket the quantile rank falls in, and the estimate interpolates
+// linearly inside that bucket's [lower, upper) bound range. The result
+// is clamped to the observed Min/Max, which makes the estimate exact
+// for single-bucket distributions and keeps p99 from overshooting the
+// largest sample ever recorded. Zero when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the (1-based, fractional) sample index the quantile maps
+	// to; the bucket holding that sample bounds the estimate.
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen float64
+	lower := time.Duration(0)
+	for _, b := range s.Buckets {
+		if seen+float64(b.Count) >= rank {
+			frac := (rank - seen) / float64(b.Count)
+			est := lower + time.Duration(frac*float64(b.UpperBound-lower))
+			if est < s.Min {
+				est = s.Min
+			}
+			if est > s.Max {
+				est = s.Max
+			}
+			return est
+		}
+		seen += float64(b.Count)
+		lower = b.UpperBound
+	}
+	return s.Max
+}
+
 // String renders a one-line summary.
 func (s HistogramSnapshot) String() string {
 	return fmt.Sprintf("n=%d mean=%v min=%v max=%v", s.Count, s.Mean(), s.Min, s.Max)
+}
+
+// Merge folds other into s, combining counts, sums, extremes, and
+// bucket lists (callers merging per-worker phase profiles use it; hub
+// snapshots merge through Merge).
+func (s HistogramSnapshot) Merge(other HistogramSnapshot) HistogramSnapshot {
+	return s.merge(other)
 }
 
 // merge folds other into s.

@@ -356,6 +356,14 @@ func TestStatusLine(t *testing.T) {
 	if line != want {
 		t.Errorf("status line:\n got %q\nwant %q", line, want)
 	}
+
+	// With compare-latency samples the line carries their p50/p99.
+	h.Histogram(MetricCompare).Observe(10 * time.Microsecond)
+	h.Histogram(MetricCompare).Observe(90 * time.Microsecond)
+	line = StatusLine("w1", h)
+	if !strings.Contains(line, "check p50=") || !strings.Contains(line, "p99=") {
+		t.Errorf("status line missing check quantiles: %q", line)
+	}
 }
 
 func TestReporterEmit(t *testing.T) {
@@ -378,7 +386,7 @@ func TestServeMetrics(t *testing.T) {
 	h, _ := newTestHub(0)
 	h.Counter("mc.ops").Add(42)
 	h.Histogram("tracker.t.checkpoint").Observe(3 * time.Microsecond)
-	srv, err := ServeMetrics("127.0.0.1:0", h.Snapshot)
+	srv, err := ServeMetrics("127.0.0.1:0", func() any { return h.Snapshot() })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -189,7 +189,9 @@ func (r *Reporter) Emit() {
 }
 
 // StatusLine renders one lane's Spin-style status line from the hub's
-// standard engine instruments.
+// standard engine instruments. When the checker's compare histogram has
+// samples, the line carries its p50/p99 so long runs surface check-
+// latency drift without waiting for the end-of-run tables.
 func StatusLine(name string, h *Hub) string {
 	ops := h.Counter(MetricOps).Value()
 	states := h.Counter(MetricVisitedMisses).Value()
@@ -200,6 +202,10 @@ func StatusLine(name string, h *Hub) string {
 	if elapsed > 0 {
 		rate = float64(ops) / elapsed.Seconds()
 	}
-	return fmt.Sprintf("progress %s: depth=%d states=%d revisits=%d ops=%d %.1f ops/s (virtual %v)",
+	line := fmt.Sprintf("progress %s: depth=%d states=%d revisits=%d ops=%d %.1f ops/s (virtual %v)",
 		name, depth, states, revisits, ops, rate, elapsed.Round(time.Millisecond))
+	if cmp := h.Histogram(MetricCompare).Snapshot(); cmp.Count > 0 {
+		line += fmt.Sprintf(" check p50=%v p99=%v", cmp.Quantile(0.5), cmp.Quantile(0.99))
+	}
+	return line
 }

@@ -56,6 +56,7 @@ import (
 	"mcfs/internal/memmodel"
 	"mcfs/internal/obs"
 	"mcfs/internal/obs/journal"
+	"mcfs/internal/obs/perf"
 	"mcfs/internal/simclock"
 	"mcfs/internal/tracker"
 	"mcfs/internal/vfs"
@@ -216,6 +217,13 @@ type Options struct {
 	// replayable journal record (worker id 0 for a single session). Nil
 	// disables journaling at one branch per operation.
 	Journal *journal.Writer
+	// Perf attaches a phase profiler: the engine attributes virtual time
+	// to its named phases (checkpoint, execute, verify, restore, hash,
+	// fsck, remount, journal) and samples state-space telemetry every N
+	// executed operations. The session rebases the profiler onto its
+	// virtual clock. Nil disables phase profiling at one branch per
+	// phase boundary.
+	Perf *perf.Profiler
 	// CrashExploration enables crash-consistency checking: before each
 	// explored operation is committed, its write window is crash-tested
 	// on every crash-testable target — simulate power loss at sampled
@@ -255,9 +263,11 @@ func NewSession(opts Options) (*Session, error) {
 	clock := simclock.New()
 	k := kernel.New(clock)
 	s := &Session{clock: clock, kern: k, obsHub: opts.Obs, crash: opts.CrashExploration}
-	// Rebase the hub onto this session's virtual clock so every span and
-	// latency observation is in deterministic virtual time.
+	// Rebase the hub and profiler onto this session's virtual clock so
+	// every span, latency, and phase observation is in deterministic
+	// virtual time.
 	opts.Obs.SetNow(clock.Now)
+	opts.Perf.SetNow(clock.Now)
 	k.SetObs(opts.Obs)
 
 	var targets []checker.Target
@@ -323,6 +333,7 @@ func NewSession(opts Options) (*Session, error) {
 		Resume:            opts.Resume,
 		Obs:               opts.Obs,
 		Journal:           opts.Journal.Recorder(0),
+		Perf:              opts.Perf,
 	}
 	if opts.CrashExploration {
 		if len(s.crashPlanes) == 0 {
@@ -629,6 +640,10 @@ func (s *Session) Checker() *checker.Checker { return s.check }
 // Obs returns the observability hub the session was built with (nil when
 // observability is off).
 func (s *Session) Obs() *obs.Hub { return s.obsHub }
+
+// Perf returns the phase profiler the session was built with (nil when
+// phase profiling is off).
+func (s *Session) Perf() *perf.Profiler { return s.cfg.Perf }
 
 // Config exposes the underlying engine configuration (benchmarks tune
 // it).

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mcfs"
+	"mcfs/internal/obs/perf"
 	"mcfs/internal/vfs"
 )
 
@@ -232,6 +233,41 @@ func TestFigure3Shape(t *testing.T) {
 	}
 	if first.OpsPerSec < 500 {
 		t.Errorf("initial plateau %.0f ops/s unreasonably low", first.OpsPerSec)
+	}
+}
+
+func TestFigure3CrashCalibration(t *testing.T) {
+	prof := perf.New(nil)
+	points, err := mcfs.RunFigure3(mcfs.Figure3Config{
+		Days:  1,
+		Crash: true,
+		Perf:  prof,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 24 {
+		t.Fatalf("got %d points", len(points))
+	}
+	snap := prof.Snapshot()
+	if !snap.Enabled() {
+		t.Fatal("crash calibration recorded no phase work")
+	}
+	// The crash-mode calibration runs the ext pair with crash probing,
+	// so the oracle phases must show up in the profile.
+	for _, phase := range []string{perf.PhaseFsck, perf.PhaseRemount, perf.PhaseExecute} {
+		if snap.Phases[phase].Count == 0 {
+			t.Errorf("phase %q not recorded", phase)
+		}
+	}
+	var sawCrashPoints bool
+	for _, s := range snap.Samples {
+		if s.CrashPoints > 0 {
+			sawCrashPoints = true
+		}
+	}
+	if !sawCrashPoints {
+		t.Error("no telemetry sample recorded crash points")
 	}
 }
 

@@ -28,6 +28,10 @@
 #                                                    nondeterminism, wall
 #                                                    time, dropped errnos,
 #                                                    nil-obs safety)
+#  10. bench regression gate: fsbench -json at a     (speed claims are
+#      smoke budget, diffed against the committed     tracked, not
+#      BENCH_mc.json at a loose tolerance             asserted; a rate
+#                                                    drop fails the gate)
 #
 # Usage: scripts/check.sh   (from the repo root or anywhere inside it)
 set -eu
@@ -90,5 +94,14 @@ echo "==> mcfslint ./... (domain static analysis)"
 go build -o "$work/mcfslint" ./cmd/mcfslint
 "$work/mcfslint" ./... || {
 	echo "FAIL: mcfslint reported findings (see above)"; exit 1; }
+
+echo "==> bench regression gate (fsbench -json vs committed BENCH_mc.json)"
+# Smoke budget (150 ops/scenario) against the committed 400-op point:
+# virtual-clock rates are nearly budget-independent, so a loose 50%
+# tolerance catches real slowdowns without flaking on budget skew.
+go build -o "$work/fsbench" ./cmd/fsbench
+"$work/fsbench" -json -budget 150 -o "$work/bench_smoke.json"
+"$work/fsbench" -compare BENCH_mc.json -with "$work/bench_smoke.json" -tolerance 0.5 || {
+	echo "FAIL: benchmark regression against committed BENCH_mc.json"; exit 1; }
 
 echo "OK: all checks passed"
