@@ -119,6 +119,7 @@ func run() int {
 	noRemount := flag.Bool("no-remount", false, "disable per-operation remounts for kernel FSes")
 	crash := flag.Bool("crash", false, "crash-test each operation's write window (ext2/ext4/jffs2 targets)")
 	crashPoints := flag.Int("crash-points", 0, "max crash points sampled per operation (0 = default)")
+	fsckWorkers := flag.Int("fsck-workers", 0, "worker pool size for the parallel post-recovery fsck (0 = GOMAXPROCS)")
 	swarm := flag.Int("swarm", 0, "run N diversified workers in parallel (0 = single engine)")
 	shareVisited := flag.Bool("share-visited", false, "swarm workers share one visited-state table (prune peer-explored states)")
 	parallelism := flag.Int("parallelism", 0, "max swarm workers running at once (0 = min(N, GOMAXPROCS))")
@@ -188,6 +189,7 @@ func run() int {
 			MajorityVote:     *majority,
 			CrashExploration: *crash,
 			CrashPointsPerOp: *crashPoints,
+			FsckWorkers:      *fsckWorkers,
 			Obs:              hub,
 			Perf:             prof,
 		}

@@ -243,6 +243,14 @@ func (d *Disk) ReadAt(p []byte, off int64) error {
 	if err := d.checkRange(len(p), off); err != nil {
 		return err
 	}
+	if err := d.inj.OnRead(off, len(p)); err != nil {
+		// A failed read transfers nothing and caches nothing, but the
+		// request was issued: charge the positioning cost.
+		d.reads++
+		d.ctrReads.Inc()
+		d.charge(d.seekCost(off))
+		return err
+	}
 	copy(p, d.data[off:])
 	first, last := pageRange(off, len(p))
 	coldPages := 0
@@ -420,6 +428,38 @@ func (d *Disk) LoadImage(img []byte) error {
 	copy(d.data, img)
 	for pg := range d.cached {
 		d.cached[pg] = false
+	}
+	d.lastEnd = 0
+	return nil
+}
+
+// LoadImageDelta installs img over the listed regions only: the media
+// outside the regions is untouched, the pages under them come back cold.
+// Like LoadImage it charges nothing and bypasses the fault plane — it is
+// the power-cut installer for a crash image whose divergence from the
+// current media is known (the injector's touch log). Callers own the
+// correctness of regions: they must cover every byte where the device
+// differs from img.
+func (d *Disk) LoadImageDelta(img []byte, regions []fault.Region) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(img) != len(d.data) {
+		return fmt.Errorf("blockdev: load image size %d != device size %d (%s)", len(img), len(d.data), d.name)
+	}
+	for _, r := range regions {
+		if r.Len <= 0 {
+			continue
+		}
+		end := r.Off + r.Len
+		if r.Off < 0 || end > int64(len(d.data)) {
+			return fmt.Errorf("%w: delta region off=%d len=%d size=%d dev=%s",
+				ErrOutOfRange, r.Off, r.Len, len(d.data), d.name)
+		}
+		copy(d.data[r.Off:end], img[r.Off:end])
+		first, last := pageRange(r.Off, int(r.Len))
+		for pg := first; pg < last; pg++ {
+			d.cached[pg] = false
+		}
 	}
 	d.lastEnd = 0
 	return nil

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"mcfs/internal/fault"
 	"mcfs/internal/simclock"
 )
 
@@ -97,6 +98,145 @@ func TestWriteFaultInjection(t *testing.T) {
 	d.SetFailWrites(false)
 	if err := d.WriteAt([]byte{1}, 0); err != nil {
 		t.Errorf("write after clearing fault: %v", err)
+	}
+}
+
+func TestReadFaultInjection(t *testing.T) {
+	boom := errors.New("read fault")
+	d := NewRAM("ram0", 64*1024, simclock.New())
+	if err := d.WriteAt([]byte("payload"), 8192); err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.New()
+	d.SetInjector(inj)
+	id := inj.AddRule(fault.Rule{Kind: fault.KindReadError, Off: 8192, Len: 4096, Err: boom})
+
+	buf := make([]byte, 7)
+	if err := d.ReadAt(buf, 8192); err != boom {
+		t.Errorf("read in faulted range = %v, want boom", err)
+	}
+	if err := d.ReadAt(buf, 0); err != nil {
+		t.Errorf("read outside faulted range: %v", err)
+	}
+	inj.RemoveRule(id)
+	if err := d.ReadAt(buf, 8192); err != nil {
+		t.Errorf("read after rule removed: %v", err)
+	}
+	if string(buf) != "payload" {
+		t.Errorf("read back %q, want %q", buf, "payload")
+	}
+	if got := inj.Stats().ReadErrorsInjected; got != 1 {
+		t.Errorf("ReadErrorsInjected = %d, want 1", got)
+	}
+}
+
+func TestMTDReadFaultInjection(t *testing.T) {
+	boom := errors.New("flash read fault")
+	m := NewMTD("mtd0", 8192, 4096, simclock.New())
+	inj := fault.New()
+	m.SetInjector(inj)
+	inj.AddRule(fault.Rule{Kind: fault.KindReadError, Off: 0, Len: 4096, Err: boom, Once: true})
+	buf := make([]byte, 16)
+	if err := m.ReadAt(buf, 0); err != boom {
+		t.Errorf("MTD read = %v, want boom", err)
+	}
+	if err := m.ReadAt(buf, 0); err != nil {
+		t.Errorf("MTD read after once-rule: %v", err)
+	}
+}
+
+func TestLoadImageDelta(t *testing.T) {
+	d := NewRAM("ram0", 64*1024, simclock.New())
+	if err := d.WriteAt([]byte("AAAA"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt([]byte("BBBB"), 8192); err != nil {
+		t.Fatal(err)
+	}
+	img, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diverge the device from img at both sites, then delta-load only
+	// the second: the first keeps its divergence.
+	if err := d.WriteAt([]byte("XXXX"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt([]byte("YYYY"), 8192); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadImageDelta(img, []fault.Region{{Off: 8192, Len: 4}}); err != nil {
+		t.Fatalf("LoadImageDelta: %v", err)
+	}
+	buf := make([]byte, 4)
+	if err := d.ReadAt(buf, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "BBBB" {
+		t.Errorf("delta region reads %q, want %q", buf, "BBBB")
+	}
+	if err := d.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "XXXX" {
+		t.Errorf("untouched region reads %q, want %q (delta must not touch it)", buf, "XXXX")
+	}
+
+	if err := d.LoadImageDelta(make([]byte, 1), nil); err == nil {
+		t.Error("LoadImageDelta with wrong-size image succeeded")
+	}
+	if err := d.LoadImageDelta(img, []fault.Region{{Off: 60 * 1024, Len: 8192}}); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("out-of-range delta region: err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestLoadImageDeltaMatchesFullLoad(t *testing.T) {
+	// With the touch log supplying the regions, a delta load must leave
+	// the media byte-identical to a full LoadImage.
+	clock := simclock.New()
+	full := NewRAM("full", 32*1024, clock)
+	delta := NewRAM("delta", 32*1024, clock)
+	inj := fault.New()
+	delta.SetInjector(inj)
+
+	seed := bytes.Repeat([]byte{0x5A}, 32*1024)
+	if err := full.LoadImage(seed); err != nil {
+		t.Fatal(err)
+	}
+	if err := delta.LoadImage(seed); err != nil {
+		t.Fatal(err)
+	}
+	img, err := delta.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj.StartTouchLog()
+	for _, w := range []struct {
+		off int64
+		p   []byte
+	}{{100, []byte("one")}, {5000, bytes.Repeat([]byte{7}, 2000)}, {31 * 1024, []byte("tail")}} {
+		if err := delta.WriteAt(w.p, w.off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regions, ok := inj.Touched()
+	if !ok {
+		t.Fatal("touch log lost")
+	}
+	if err := delta.LoadImageDelta(img, regions); err != nil {
+		t.Fatal(err)
+	}
+	got, err := delta.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("delta load diverged from full image load")
 	}
 }
 

@@ -87,6 +87,10 @@ func (m *MTD) ReadAt(p []byte, off int64) error {
 	if off < 0 || off+int64(len(p)) > int64(len(m.data)) {
 		return fmt.Errorf("%w: off=%d len=%d size=%d dev=%s", ErrOutOfRange, off, len(p), len(m.data), m.name)
 	}
+	if err := m.inj.OnRead(off, len(p)); err != nil {
+		m.ctrReads.Inc()
+		return err
+	}
 	copy(p, m.data[off:])
 	m.ctrReads.Inc()
 	m.charge(time.Duration((len(p)+1023)/1024) * time.Microsecond)

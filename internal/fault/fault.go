@@ -41,7 +41,46 @@ const (
 	// KindCorrupt flips bit Rule.BitOffset of the payload of matching
 	// writes — silent media corruption.
 	KindCorrupt
+	// KindReadError fails matching reads with Rule.Err — a media read
+	// fault. Read rules match on byte range only (reads are not counted
+	// against fault windows), so they fire inside and outside windows
+	// alike. Devices consult them through OnRead.
+	KindReadError
 )
+
+// Region is a half-open byte range [Off, Off+Len) on a device. The touch
+// log reports the media regions writes have dirtied as Regions, and the
+// crash oracle's delta paths reload and compare only those.
+type Region struct {
+	Off, Len int64
+}
+
+// CoalesceRegions sorts regions by offset and merges overlapping or
+// adjacent ones, returning a minimal equivalent list. The input is not
+// modified.
+func CoalesceRegions(regions []Region) []Region {
+	if len(regions) == 0 {
+		return nil
+	}
+	rs := make([]Region, 0, len(regions))
+	for _, r := range regions {
+		if r.Len > 0 {
+			rs = append(rs, r)
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Off < rs[j].Off })
+	out := rs[:0]
+	for _, r := range rs {
+		if n := len(out); n > 0 && r.Off <= out[n-1].Off+out[n-1].Len {
+			if end := r.Off + r.Len; end > out[n-1].Off+out[n-1].Len {
+				out[n-1].Len = end - out[n-1].Off
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
 
 // Rule matches device writes and names the fault to inject. The zero
 // range (Len == 0) matches every offset; AtWrite < 0 matches every
@@ -105,10 +144,11 @@ type Decision struct {
 
 // Stats counts injected faults and captured crash points.
 type Stats struct {
-	ErrorsInjected  int64
-	TornInjected    int64
-	CorruptInjected int64
-	CrashCaptures   int64
+	ErrorsInjected     int64
+	ReadErrorsInjected int64
+	TornInjected       int64
+	CorruptInjected    int64
+	CrashCaptures      int64
 }
 
 // Injector is one device's fault plane. All methods are safe for
@@ -122,9 +162,23 @@ type Injector struct {
 	windowActive bool
 	windowWrites int
 
-	crashArmed bool
-	crashAt    int
-	crashImage []byte
+	// armed is the set of window write indices crash captures are armed
+	// at; images holds the captured media images by write index.
+	// captureIdx carries the firing index from OnWrite to the device's
+	// SetCrashImage call (the device holds its own lock across the two,
+	// so at most one capture is in flight per injector).
+	armed      map[int]bool
+	images     map[int][]byte
+	captureIdx int
+
+	// Touch log: when touching, every persisted write's byte range is
+	// recorded, so callers can reload or compare only the media regions
+	// that actually changed. touchLost marks a media mutation the log
+	// could not see (a full device Restore through OnControl) — the log
+	// is then unusable until ResetTouchLog.
+	touching  bool
+	touchLost bool
+	touched   []Region
 
 	stats Stats
 }
@@ -185,22 +239,49 @@ func (in *Injector) WindowWrites() int {
 
 // ArmCrash arms a crash point at window write k: after that write's
 // payload reaches media, the device snapshots its image and hands it
-// over (SetCrashImage). Arming replaces any previous arm and clears a
-// previously captured image.
-func (in *Injector) ArmCrash(k int) {
+// over (SetCrashImage). Arming replaces any previous arms and clears
+// previously captured images.
+func (in *Injector) ArmCrash(k int) { in.ArmCrashes([]int{k}) }
+
+// ArmCrashes arms a crash point at every listed window write index: one
+// window execution captures one media image per index that is reached.
+// Arming replaces any previous arms and clears previously captured
+// images.
+func (in *Injector) ArmCrashes(ks []int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	in.crashArmed = true
-	in.crashAt = k
-	in.crashImage = nil
+	in.armed = make(map[int]bool, len(ks))
+	for _, k := range ks {
+		in.armed[k] = true
+	}
+	in.images = nil
 }
 
-// Disarm cancels an armed crash point and drops any captured image.
+// Disarm cancels every armed crash point and drops all captured images.
 func (in *Injector) Disarm() {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	in.crashArmed = false
-	in.crashImage = nil
+	in.armed = nil
+	in.images = nil
+}
+
+// DisarmPending cancels armed-but-unfired crash points while KEEPING
+// captured images: the cleanup for a window that ended short of some
+// armed index. Without it a leftover arm silently captures in the NEXT
+// window — the crash oracle asserts Armed() == 0 between probes to
+// catch exactly that leak.
+func (in *Injector) DisarmPending() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.armed = nil
+}
+
+// Armed reports how many crash points are currently armed (not yet
+// fired, not disarmed).
+func (in *Injector) Armed() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.armed)
 }
 
 // SetCrashImage is called by the device in response to Decision.Capture
@@ -208,20 +289,81 @@ func (in *Injector) Disarm() {
 func (in *Injector) SetCrashImage(img []byte) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	in.crashImage = img
-	in.crashArmed = false
+	if in.images == nil {
+		in.images = make(map[int][]byte)
+	}
+	in.images[in.captureIdx] = img
+	delete(in.armed, in.captureIdx)
 	in.stats.CrashCaptures++
 }
 
-// TakeCrashImage returns the captured crash image (nil if the armed
-// write never happened) and clears it.
+// TakeCrashImage returns the single captured crash image (nil if no
+// armed write happened) and clears all capture state. With multiple
+// images captured it returns the lowest-index one; use TakeCrashImages
+// for multi-point windows.
 func (in *Injector) TakeCrashImage() []byte {
+	for _, img := range in.TakeCrashImages() {
+		return img
+	}
+	return nil
+}
+
+// TakeCrashImages returns every captured crash image keyed by its window
+// write index (nil when none fired) and clears all capture state,
+// including remaining arms.
+func (in *Injector) TakeCrashImages() map[int][]byte {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	img := in.crashImage
-	in.crashImage = nil
-	in.crashArmed = false
-	return img
+	imgs := in.images
+	in.images = nil
+	in.armed = nil
+	return imgs
+}
+
+// StartTouchLog begins recording the byte range of every persisted
+// write, replacing any previous log. The log answers "which media
+// regions may differ from a snapshot taken now" — the basis for delta
+// image reloads and delta state comparison in crash exploration.
+func (in *Injector) StartTouchLog() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.touching = true
+	in.touchLost = false
+	in.touched = in.touched[:0]
+}
+
+// StopTouchLog stops recording and drops the log.
+func (in *Injector) StopTouchLog() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.touching = false
+	in.touchLost = false
+	in.touched = nil
+}
+
+// ResetTouchLog clears the log (and any lost-update mark) while leaving
+// recording on: called right after the media has been reset to a known
+// image, so the log again describes divergence from that image.
+func (in *Injector) ResetTouchLog() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.touching {
+		in.touchLost = false
+		in.touched = in.touched[:0]
+	}
+}
+
+// Touched returns the coalesced regions written since the last
+// StartTouchLog/ResetTouchLog. ok is false when the log missed a media
+// mutation (a full Restore ran through OnControl while recording) —
+// callers must then fall back to full-image operations.
+func (in *Injector) Touched() ([]Region, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.touching || in.touchLost {
+		return nil, false
+	}
+	return CoalesceRegions(in.touched), true
 }
 
 // Stats returns a snapshot of the injection counters.
@@ -261,7 +403,7 @@ func (in *Injector) OnWrite(off int64, n int) Decision {
 	}
 	for _, id := range in.ruleOrder() {
 		r := in.rules[id]
-		if !r.matches(off, n, idx) {
+		if r.Kind == KindReadError || !r.matches(off, n, idx) {
 			continue
 		}
 		switch r.Kind {
@@ -301,10 +443,45 @@ func (in *Injector) OnWrite(off int64, n int) Decision {
 			delete(in.rules, id)
 		}
 	}
-	if in.crashArmed && idx >= 0 && idx == in.crashAt {
+	if idx >= 0 && in.armed[idx] {
 		dec.Capture = true
+		in.captureIdx = idx
+	}
+	if in.touching && n > 0 {
+		// The write persists (no error fired above): its full range may
+		// differ on media now. Torn writes are logged conservatively at
+		// full length — a superset is always safe for delta reloads.
+		in.touched = append(in.touched, Region{Off: off, Len: int64(n)})
 	}
 	return dec
+}
+
+// OnRead is the device's per-read hook: n bytes at offset off are about
+// to be served. KindReadError rules matching the byte range fail the
+// read — reads are not window-indexed, so range is the only selector.
+// Nil-safe.
+func (in *Injector) OnRead(off int64, n int) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, id := range in.ruleOrder() {
+		r := in.rules[id]
+		if r.Kind != KindReadError {
+			continue
+		}
+		if r.Len > 0 && (off+int64(n) <= r.Off || off >= r.Off+r.Len) {
+			continue
+		}
+		err := r.Err
+		in.stats.ReadErrorsInjected++
+		if r.Once {
+			delete(in.rules, id)
+		}
+		return err
+	}
+	return nil
 }
 
 // OnControl is the hook for non-write device mutations (image restore):
@@ -317,6 +494,11 @@ func (in *Injector) OnControl() error {
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	if in.touching {
+		// A full image restore rewrites media the touch log never saw;
+		// mark the log lost so delta paths fall back to full images.
+		in.touchLost = true
+	}
 	for _, id := range in.ruleOrder() {
 		r := in.rules[id]
 		if r.Kind == KindError && r.AlwaysOn && r.AtWrite < 0 && r.Len == 0 {

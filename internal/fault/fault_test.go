@@ -233,6 +233,210 @@ func TestStartWindowResetsWriteCount(t *testing.T) {
 	}
 }
 
+func TestArmCrashesMultiCapture(t *testing.T) {
+	in := New()
+	in.StartWindow()
+	in.ArmCrashes([]int{0, 2})
+
+	if dec := in.OnWrite(0, 512); !dec.Capture {
+		t.Fatal("write 0 did not ask to capture")
+	}
+	in.SetCrashImage([]byte{0})
+	if dec := in.OnWrite(512, 512); dec.Capture {
+		t.Error("write 1 asked to capture, armed at 0 and 2")
+	}
+	if dec := in.OnWrite(1024, 512); !dec.Capture {
+		t.Fatal("write 2 did not ask to capture")
+	}
+	in.SetCrashImage([]byte{2})
+	in.EndWindow()
+
+	if got := in.Armed(); got != 0 {
+		t.Errorf("Armed = %d after both fired, want 0", got)
+	}
+	imgs := in.TakeCrashImages()
+	if len(imgs) != 2 || imgs[0][0] != 0 || imgs[2][0] != 2 {
+		t.Errorf("TakeCrashImages = %v, want images keyed 0 and 2", imgs)
+	}
+	if in.TakeCrashImages() != nil {
+		t.Error("second TakeCrashImages returned stale images")
+	}
+	if got := in.Stats().CrashCaptures; got != 2 {
+		t.Errorf("CrashCaptures = %d, want 2", got)
+	}
+}
+
+func TestDisarmPendingKeepsImages(t *testing.T) {
+	// A window that ends short of some armed index: DisarmPending must
+	// clear the leak (Armed() == 0) without dropping what did capture.
+	in := New()
+	in.StartWindow()
+	in.ArmCrashes([]int{0, 7})
+	if dec := in.OnWrite(0, 512); !dec.Capture {
+		t.Fatal("write 0 did not capture")
+	}
+	in.SetCrashImage([]byte{42})
+	in.EndWindow()
+
+	if got := in.Armed(); got != 1 {
+		t.Fatalf("Armed = %d before DisarmPending, want 1 (index 7 unreached)", got)
+	}
+	in.DisarmPending()
+	if got := in.Armed(); got != 0 {
+		t.Errorf("Armed = %d after DisarmPending, want 0", got)
+	}
+	imgs := in.TakeCrashImages()
+	if len(imgs) != 1 || imgs[0][0] != 42 {
+		t.Errorf("TakeCrashImages = %v, want the fired image kept", imgs)
+	}
+}
+
+func TestArmCrashesReplacesPriorState(t *testing.T) {
+	in := New()
+	in.StartWindow()
+	in.ArmCrash(0)
+	in.OnWrite(0, 512)
+	in.SetCrashImage([]byte{1})
+	// Re-arming for the next run must drop the stale image and old arms.
+	in.ArmCrashes([]int{3})
+	if got := in.Armed(); got != 1 {
+		t.Errorf("Armed = %d after re-arm, want 1", got)
+	}
+	if imgs := in.TakeCrashImages(); imgs != nil {
+		t.Errorf("re-arm kept a stale image: %v", imgs)
+	}
+}
+
+func TestCoalesceRegions(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []Region
+		want []Region
+	}{
+		{"empty", nil, nil},
+		{"zero-len dropped", []Region{{0, 0}, {5, -1}}, nil},
+		{"disjoint sorted", []Region{{10, 5}, {0, 5}}, []Region{{0, 5}, {10, 5}}},
+		{"overlap merges", []Region{{0, 10}, {5, 10}}, []Region{{0, 15}}},
+		{"adjacent merges", []Region{{0, 5}, {5, 5}}, []Region{{0, 10}}},
+		{"contained absorbed", []Region{{0, 20}, {5, 5}}, []Region{{0, 20}}},
+	}
+	for _, c := range cases {
+		got := CoalesceRegions(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: CoalesceRegions = %v, want %v", c.name, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: CoalesceRegions = %v, want %v", c.name, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestTouchLogRecordsAndCoalesces(t *testing.T) {
+	in := New()
+	if _, ok := in.Touched(); ok {
+		t.Fatal("Touched ok=true before StartTouchLog")
+	}
+	in.StartTouchLog()
+	in.OnWrite(0, 512)
+	in.OnWrite(512, 512)  // adjacent: merges with the first
+	in.OnWrite(4096, 100) // disjoint
+	regions, ok := in.Touched()
+	if !ok {
+		t.Fatal("Touched ok=false while recording")
+	}
+	want := []Region{{0, 1024}, {4096, 100}}
+	if len(regions) != 2 || regions[0] != want[0] || regions[1] != want[1] {
+		t.Errorf("Touched = %v, want %v", regions, want)
+	}
+
+	in.ResetTouchLog()
+	regions, ok = in.Touched()
+	if !ok || len(regions) != 0 {
+		t.Errorf("after ResetTouchLog: regions=%v ok=%v, want empty/true", regions, ok)
+	}
+
+	in.StopTouchLog()
+	if _, ok := in.Touched(); ok {
+		t.Error("Touched ok=true after StopTouchLog")
+	}
+}
+
+func TestTouchLogLostOnControl(t *testing.T) {
+	// A full image restore (OnControl) mutates media invisibly to the
+	// log: Touched must answer ok=false until the next reset.
+	in := New()
+	in.StartTouchLog()
+	in.OnWrite(0, 512)
+	in.OnControl()
+	if _, ok := in.Touched(); ok {
+		t.Fatal("Touched ok=true after an unlogged restore")
+	}
+	in.ResetTouchLog()
+	in.OnWrite(0, 16)
+	regions, ok := in.Touched()
+	if !ok || len(regions) != 1 || regions[0] != (Region{0, 16}) {
+		t.Errorf("after reset: regions=%v ok=%v, want [{0 16}]/true", regions, ok)
+	}
+}
+
+func TestTouchLogSkipsFailedWrites(t *testing.T) {
+	boom := errors.New("boom")
+	in := New()
+	in.AddRule(Rule{Kind: KindError, AtWrite: -1, Err: boom, AlwaysOn: true, Once: true})
+	in.StartTouchLog()
+	if dec := in.OnWrite(0, 512); dec.Err != boom {
+		t.Fatal("error rule did not fire")
+	}
+	regions, ok := in.Touched()
+	if !ok || len(regions) != 0 {
+		t.Errorf("failed write logged as touched: regions=%v ok=%v", regions, ok)
+	}
+}
+
+func TestReadErrorRule(t *testing.T) {
+	boom := errors.New("media read fault")
+	in := New()
+	var nilIn *Injector
+	if err := nilIn.OnRead(0, 512); err != nil {
+		t.Fatalf("nil injector OnRead = %v", err)
+	}
+	id := in.AddRule(Rule{Kind: KindReadError, Off: 1024, Len: 512, Err: boom})
+
+	if err := in.OnRead(0, 512); err != nil {
+		t.Errorf("read below range faulted: %v", err)
+	}
+	if err := in.OnRead(1024, 512); err != boom {
+		t.Errorf("read in range = %v, want boom", err)
+	}
+	// Reads are not window-indexed: the rule fires with no window open
+	// and inside one alike.
+	in.StartWindow()
+	if err := in.OnRead(1000, 100); err != boom {
+		t.Errorf("overlapping read in window = %v, want boom", err)
+	}
+	in.EndWindow()
+	if got := in.Stats().ReadErrorsInjected; got != 2 {
+		t.Errorf("ReadErrorsInjected = %d, want 2", got)
+	}
+	// Read rules never affect writes.
+	if dec := in.OnWrite(1024, 512); dec.Err != nil {
+		t.Errorf("read rule failed a write: %v", dec.Err)
+	}
+	in.RemoveRule(id)
+
+	in.AddRule(Rule{Kind: KindReadError, Err: boom, Once: true})
+	if err := in.OnRead(0, 1); err != boom {
+		t.Fatal("once read rule did not fire")
+	}
+	if err := in.OnRead(0, 1); err != nil {
+		t.Errorf("once read rule fired twice: %v", err)
+	}
+}
+
 func TestDeterministicRuleOrder(t *testing.T) {
 	// Two error rules match the same write: the lower id must win every
 	// time, regardless of map iteration order.

@@ -2,7 +2,10 @@ package extfs
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mcfs/internal/blockdev"
 	"mcfs/internal/vfs"
@@ -18,11 +21,27 @@ type Problem struct {
 
 func (p Problem) String() string { return p.Code + ": " + p.Detail }
 
+// FsckOptions configures FsckWith.
+type FsckOptions struct {
+	// Workers is how many goroutines the CPU-bound verification passes
+	// fan out over; <= 0 picks GOMAXPROCS capped at maxFsckWorkers. The
+	// problem list and the device I/O sequence are identical for every
+	// worker count: all reads happen in serial prefetch stages, so the
+	// virtual clock sees the same charges whether one worker runs or
+	// eight.
+	Workers int
+}
+
+// maxFsckWorkers caps the verification fan-out; past this the passes are
+// memory-bound and more goroutines only add scheduling overhead.
+const maxFsckWorkers = 8
+
 // Fsck validates the on-disk state of an unmounted volume and returns the
-// inconsistencies found. It reproduces the checks that exposed the
-// paper's §3.2 failure mode: after MCFS restored a disk image underneath
-// live kernel caches, "directory entries with corrupted or zeroed inodes"
-// appeared — exactly the dangling-entry and zeroed-inode problems below.
+// inconsistencies found, using the default worker count. It reproduces
+// the checks that exposed the paper's §3.2 failure mode: after MCFS
+// restored a disk image underneath live kernel caches, "directory entries
+// with corrupted or zeroed inodes" appeared — exactly the dangling-entry
+// and zeroed-inode problems below.
 //
 // Checks performed:
 //   - every directory entry points to an allocated inode (dangling-entry)
@@ -30,134 +49,173 @@ func (p Problem) String() string { return p.Code + ": " + p.Detail }
 //   - each directory has "." and ".." entries ("missing-dot")
 //   - inode link counts match the number of referencing entries
 //     (bad-nlink)
+//   - no inode maps a block outside the volume (block-out-of-range)
 //   - every reachable file/dir block is marked used in the block bitmap
-//     (block-not-marked), and no block is referenced twice (block-shared)
+//     (block-not-marked), and no block is referenced by two different
+//     inodes (block-shared; multiple directory entries naming the same
+//     inode — hard links — share its blocks legitimately)
 //   - allocated inodes are reachable from the root (orphan-inode)
+//
+// A device read error aborts the check and is returned as the error —
+// never as a clean verdict: a faulted read must not make a corrupt image
+// look consistent.
 func Fsck(dev blockdev.Device) ([]Problem, error) {
-	sbBuf := make([]byte, BlockSize)
-	if err := dev.ReadAt(sbBuf, 0); err != nil {
+	return FsckWith(dev, FsckOptions{})
+}
+
+// FsckWith is Fsck with explicit options. The check runs in phases,
+// pFSCK-style: each phase prefetches the blocks it needs serially (one
+// device read per block, in a deterministic order), then fans the pure
+// in-memory verification work — directory-entry checks, block-reference
+// accounting, the linear inode scan — across the worker pool, merging
+// each unit's findings back in discovery order.
+func FsckWith(dev blockdev.Device, opts FsckOptions) ([]Problem, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > maxFsckWorkers {
+		workers = maxFsckWorkers
+	}
+
+	f := &fsckRun{cache: newBlockCache(dev), workers: workers}
+	sbBuf, err := f.cache.load(0)
+	if err != nil {
 		return nil, err
 	}
 	sb, err := decodeSuperblock(sbBuf)
 	if err != nil {
 		return []Problem{{Code: "bad-superblock", Detail: err.Error()}}, nil
 	}
-	l := computeLayout(sb.blocksTotal, sb.inodesTotal, sb.journalLen)
+	f.sb = sb
+	f.l = computeLayout(sb.blocksTotal, sb.inodesTotal, sb.journalLen)
+	// Geometry sanity: the bitmaps are one block each and the declared
+	// regions must fit the device, or every later pointer check would be
+	// judging against garbage.
+	if int64(sb.blocksTotal)*BlockSize > dev.Size() ||
+		sb.blocksTotal > BlockSize*8 || sb.inodesTotal > BlockSize*8 ||
+		f.l.firstData > sb.blocksTotal {
+		return []Problem{{
+			Code: "bad-superblock",
+			Detail: fmt.Sprintf("geometry does not fit device: %d blocks, %d inodes, device %d bytes",
+				sb.blocksTotal, sb.inodesTotal, dev.Size()),
+		}}, nil
+	}
+
+	if f.blockBitmap, err = f.cache.load(f.l.blockBitmap); err != nil {
+		return nil, err
+	}
+	if f.inodeBitmap, err = f.cache.load(f.l.inodeBitmap); err != nil {
+		return nil, err
+	}
+	// Prefetch the whole inode table once. The serial fsck re-read (and
+	// re-allocated) the same table block for every inode it looked at;
+	// here every later inode decode is a cache slice.
+	for b := uint32(0); b < f.l.inodeBlocks; b++ {
+		if _, err := f.cache.load(f.l.inodeTable + b); err != nil {
+			return nil, err
+		}
+	}
 
 	var problems []Problem
-	report := func(code, format string, args ...any) {
-		problems = append(problems, Problem{Code: code, Detail: fmt.Sprintf(format, args...)})
-	}
-
-	blockBitmap := make([]byte, BlockSize)
-	if err := dev.ReadAt(blockBitmap, int64(l.blockBitmap)*BlockSize); err != nil {
-		return nil, err
-	}
-	inodeBitmap := make([]byte, BlockSize)
-	if err := dev.ReadAt(inodeBitmap, int64(l.inodeBitmap)*BlockSize); err != nil {
-		return nil, err
-	}
-
-	readInode := func(ino uint32) (onDiskInode, error) {
-		blk := l.inodeTable + (ino-1)/InodesPerBlock
-		buf := make([]byte, BlockSize)
-		if err := dev.ReadAt(buf, int64(blk)*BlockSize); err != nil {
-			return onDiskInode{}, err
-		}
-		off := ((ino - 1) % InodesPerBlock) * InodeSize
-		return decodeInode(buf[off : off+InodeSize]), nil
-	}
-
-	// Walk the tree from the root, recording references.
-	type refCount struct{ links uint32 }
-	refs := make(map[uint32]*refCount)
-	blockRefs := make(map[uint32]int)
-	visitedDirs := make(map[uint32]bool)
-
-	var walkDir func(ino uint32) error
-	walkDir = func(ino uint32) error {
-		if visitedDirs[ino] {
-			return nil
-		}
-		visitedDirs[ino] = true
-		nd, err := readInode(ino)
-		if err != nil {
-			return err
-		}
-		var haveDot, haveDotDot bool
-		blocks := collectBlocks(dev, l, &nd)
-		for _, blk := range blocks {
-			blockRefs[blk]++
-			if !bitmapGet(blockBitmap, blk) {
-				report("block-not-marked", "dir inode %d uses block %d not marked in bitmap", ino, blk)
-			}
-			buf := make([]byte, BlockSize)
-			if err := dev.ReadAt(buf, int64(blk)*BlockSize); err != nil {
-				return err
-			}
-			for _, de := range parseDirBlock(buf) {
-				switch de.name {
-				case ".":
-					haveDot = true
-					continue
-				case "..":
-					haveDotDot = true
-					continue
-				}
-				if de.ino == 0 || de.ino > sb.inodesTotal {
-					report("dangling-entry", "dir %d entry %q points to invalid inode %d", ino, de.name, de.ino)
-					continue
-				}
-				if !bitmapGet(inodeBitmap, de.ino) {
-					report("dangling-entry", "dir %d entry %q points to free inode %d", ino, de.name, de.ino)
-					continue
-				}
-				child, err := readInode(de.ino)
-				if err != nil {
-					return err
-				}
-				if child.mode == 0 && child.nlink == 0 {
-					report("zeroed-inode", "dir %d entry %q points to zeroed inode %d", ino, de.name, de.ino)
-					continue
-				}
-				if refs[de.ino] == nil {
-					refs[de.ino] = &refCount{}
-				}
-				refs[de.ino].links++
-				if vfs.Mode(child.mode).IsDir() {
-					if err := walkDir(de.ino); err != nil {
-						return err
-					}
-				} else {
-					for _, blk := range collectBlocks(dev, l, &child) {
-						blockRefs[blk]++
-						if !bitmapGet(blockBitmap, blk) {
-							report("block-not-marked", "inode %d uses block %d not marked in bitmap", de.ino, blk)
-						}
-					}
-				}
-			}
-		}
-		if !haveDot || !haveDotDot {
-			report("missing-dot", "dir inode %d lacks . or ..", ino)
-		}
-		return nil
-	}
-	rootNd, err := readInode(RootIno)
-	if err != nil {
-		return nil, err
-	}
+	rootNd, _ := f.inode(RootIno)
 	if !vfs.Mode(rootNd.mode).IsDir() {
-		report("bad-root", "root inode is not a directory (mode %#x)", rootNd.mode)
+		problems = append(problems, Problem{
+			Code:   "bad-root",
+			Detail: fmt.Sprintf("root inode is not a directory (mode %#x)", rootNd.mode),
+		})
 		return problems, nil
 	}
-	if err := walkDir(RootIno); err != nil {
-		return nil, err
+
+	// Pass 1: the directory tree, breadth-first. Each level loads its
+	// directories' blocks serially, then checks every directory's entries
+	// in parallel; findings merge back in discovery order, which also
+	// builds the next level's frontier.
+	refs := make(map[uint32]uint32)   // inode -> referencing entry count
+	blockRefs := make(map[uint32]int) // block -> owning-inode reference count
+	visited := map[uint32]bool{RootIno: true}
+	fileSeen := make(map[uint32]bool)
+	var files []uint32 // discovery-ordered file inodes, deduplicated
+	frontier := []uint32{RootIno}
+	for len(frontier) > 0 {
+		tasks := make([]dirTask, len(frontier))
+		for i, ino := range frontier {
+			nd, _ := f.inode(ino)
+			bl, probs, err := f.loadInodeBlocks(ino, "dir inode", &nd)
+			if err != nil {
+				return nil, err
+			}
+			for _, blk := range bl.data {
+				if _, err := f.cache.load(blk); err != nil {
+					return nil, err
+				}
+			}
+			tasks[i] = dirTask{ino: ino, blocks: bl, probs: probs}
+		}
+		parallelFor(f.workers, len(tasks), func(i int) {
+			f.checkDir(&tasks[i])
+		})
+		var next []uint32
+		for i := range tasks {
+			t := &tasks[i]
+			problems = append(problems, t.probs...)
+			for _, blk := range t.blocks.refs {
+				blockRefs[blk]++
+			}
+			for _, ino := range t.refIncs {
+				refs[ino]++
+			}
+			for _, ino := range t.childDirs {
+				if !visited[ino] {
+					visited[ino] = true
+					next = append(next, ino)
+				}
+			}
+			for _, ino := range t.childFiles {
+				if !fileSeen[ino] {
+					fileSeen[ino] = true
+					files = append(files, ino)
+				}
+			}
+		}
+		frontier = next
 	}
 
-	// Shared blocks: any data block referenced more than once. Report in
-	// block order so the problem list is stable across runs (blockRefs is
-	// a map).
+	// Pass 2: block accounting for every reachable file — indirect blocks
+	// prefetched serially, then the pointer checks fan out per file. Each
+	// file's blocks are counted once no matter how many directory entries
+	// (hard links) name it.
+	fileTasks := make([]fileTask, len(files))
+	for i, ino := range files {
+		nd, _ := f.inode(ino)
+		bl, probs, err := f.loadInodeBlocks(ino, "inode", &nd)
+		if err != nil {
+			return nil, err
+		}
+		fileTasks[i] = fileTask{ino: ino, blocks: bl, probs: probs}
+	}
+	parallelFor(f.workers, len(fileTasks), func(i int) {
+		t := &fileTasks[i]
+		for _, blk := range t.blocks.refs {
+			if !bitmapGet(f.blockBitmap, blk) {
+				t.probs = append(t.probs, Problem{
+					Code:   "block-not-marked",
+					Detail: fmt.Sprintf("inode %d uses block %d not marked in bitmap", t.ino, blk),
+				})
+			}
+		}
+	})
+	for i := range fileTasks {
+		t := &fileTasks[i]
+		problems = append(problems, t.probs...)
+		for _, blk := range t.blocks.refs {
+			blockRefs[blk]++
+		}
+	}
+
+	// Shared blocks: any block referenced by more than one inode. Report
+	// in block order so the problem list is stable across runs (blockRefs
+	// is a map).
 	var sharedBlocks []uint32
 	for blk, n := range blockRefs {
 		if n > 1 {
@@ -166,51 +224,275 @@ func Fsck(dev blockdev.Device) ([]Problem, error) {
 	}
 	sort.Slice(sharedBlocks, func(i, j int) bool { return sharedBlocks[i] < sharedBlocks[j] })
 	for _, blk := range sharedBlocks {
-		report("block-shared", "block %d referenced %d times", blk, blockRefs[blk])
+		problems = append(problems, Problem{
+			Code:   "block-shared",
+			Detail: fmt.Sprintf("block %d referenced %d times", blk, blockRefs[blk]),
+		})
 	}
 
-	// Link counts and orphans. Directories are checked loosely (their
-	// nlink also counts subdirectory ".." references).
-	for ino := uint32(FirstFreeIno); ino <= sb.inodesTotal; ino++ {
-		if !bitmapGet(inodeBitmap, ino) {
-			continue
+	// Pass 3: the linear inode scan — link counts and orphans — split
+	// into contiguous inode ranges, one result slot per range, findings
+	// concatenated in range order. Directories are checked loosely (their
+	// nlink also counts subdirectory ".." references). refs is read-only
+	// from here on, so the workers share it without locks.
+	nscan := 0
+	if f.sb.inodesTotal >= FirstFreeIno {
+		nscan = int(f.sb.inodesTotal) - FirstFreeIno + 1
+	}
+	chunks := f.workers * 4
+	if chunks > nscan {
+		chunks = nscan
+	}
+	scanProbs := make([][]Problem, chunks)
+	parallelFor(f.workers, chunks, func(c int) {
+		lo := FirstFreeIno + uint32(c*nscan/chunks)
+		hi := FirstFreeIno + uint32((c+1)*nscan/chunks)
+		for ino := lo; ino < hi; ino++ {
+			if !bitmapGet(f.inodeBitmap, ino) {
+				continue
+			}
+			nd, _ := f.inode(ino)
+			n, reachable := refs[ino]
+			if !reachable {
+				scanProbs[c] = append(scanProbs[c], Problem{
+					Code:   "orphan-inode",
+					Detail: fmt.Sprintf("inode %d allocated but unreachable", ino),
+				})
+				continue
+			}
+			if !vfs.Mode(nd.mode).IsDir() && nd.nlink != n {
+				scanProbs[c] = append(scanProbs[c], Problem{
+					Code:   "bad-nlink",
+					Detail: fmt.Sprintf("inode %d nlink %d but %d references", ino, nd.nlink, n),
+				})
+			}
 		}
-		nd, err := readInode(ino)
-		if err != nil {
-			return nil, err
-		}
-		rc := refs[ino]
-		if rc == nil {
-			report("orphan-inode", "inode %d allocated but unreachable", ino)
-			continue
-		}
-		if !vfs.Mode(nd.mode).IsDir() && nd.nlink != rc.links {
-			report("bad-nlink", "inode %d nlink %d but %d references", ino, nd.nlink, rc.links)
-		}
+	})
+	for _, probs := range scanProbs {
+		problems = append(problems, probs...)
 	}
 	return problems, nil
 }
 
-// collectBlocks gathers all data blocks mapped by an inode (direct plus
-// indirect), reading the indirect block straight from the device.
-func collectBlocks(dev blockdev.Device, l layout, nd *onDiskInode) []uint32 {
-	var out []uint32
+// fsckRun is one FsckWith invocation's shared read-only state. After the
+// serial prefetch stages fill the cache, everything here is immutable,
+// so the worker pool reads it without locks.
+type fsckRun struct {
+	cache       *blockCache
+	sb          *superblock
+	l           layout
+	blockBitmap []byte
+	inodeBitmap []byte
+	workers     int
+}
+
+// inode decodes an inode record from the prefetched table. ok is false
+// only if the table block is not cached — impossible for inode numbers
+// within the superblock's range, which callers validate first.
+func (f *fsckRun) inode(ino uint32) (onDiskInode, bool) {
+	blk := f.l.inodeTable + (ino-1)/InodesPerBlock
+	buf := f.cache.cached(blk)
+	if buf == nil {
+		return onDiskInode{}, false
+	}
+	off := ((ino - 1) % InodesPerBlock) * InodeSize
+	return decodeInode(buf[off : off+InodeSize]), true
+}
+
+// inodeBlocks is the block set one inode maps: refs is every block the
+// inode ties down in the bitmap (data blocks plus the indirect pointer
+// block itself), data is just the data blocks, in file order.
+type inodeBlocks struct {
+	refs []uint32
+	data []uint32
+}
+
+// loadInodeBlocks gathers an inode's blocks, reading the indirect block
+// through the cache (serial stages only). A pointer outside the volume is
+// reported as a problem and excluded — judging it against the bitmap
+// would be meaningless — and a device error reading the indirect block
+// propagates instead of truncating the list: a faulted read must surface
+// as an fsck failure, not a clean partial check. what names the inode's
+// role in problem details ("dir inode" / "inode").
+func (f *fsckRun) loadInodeBlocks(ino uint32, what string, nd *onDiskInode) (inodeBlocks, []Problem, error) {
+	var bl inodeBlocks
+	var probs []Problem
+	badPtr := func(blk uint32) {
+		probs = append(probs, Problem{
+			Code:   "block-out-of-range",
+			Detail: fmt.Sprintf("%s %d references block %d beyond volume (%d blocks)", what, ino, blk, f.sb.blocksTotal),
+		})
+	}
 	for _, d := range nd.direct {
-		if d != 0 {
-			out = append(out, d)
+		if d == 0 {
+			continue
 		}
+		if d >= f.sb.blocksTotal {
+			badPtr(d)
+			continue
+		}
+		bl.refs = append(bl.refs, d)
+		bl.data = append(bl.data, d)
 	}
 	if nd.indir != 0 {
-		out = append(out, nd.indir)
-		buf := make([]byte, BlockSize)
-		if err := dev.ReadAt(buf, int64(nd.indir)*BlockSize); err == nil {
-			for i := 0; i < PtrsPerBlock; i++ {
-				blk := uint32(buf[i*4]) | uint32(buf[i*4+1])<<8 | uint32(buf[i*4+2])<<16 | uint32(buf[i*4+3])<<24
-				if blk != 0 {
-					out = append(out, blk)
-				}
+		if nd.indir >= f.sb.blocksTotal {
+			badPtr(nd.indir)
+			return bl, probs, nil
+		}
+		bl.refs = append(bl.refs, nd.indir)
+		buf, err := f.cache.load(nd.indir)
+		if err != nil {
+			return bl, probs, fmt.Errorf("extfs: fsck: reading indirect block %d of %s %d: %w", nd.indir, what, ino, err)
+		}
+		for i := 0; i < PtrsPerBlock; i++ {
+			blk := uint32(buf[i*4]) | uint32(buf[i*4+1])<<8 | uint32(buf[i*4+2])<<16 | uint32(buf[i*4+3])<<24
+			if blk == 0 {
+				continue
+			}
+			if blk >= f.sb.blocksTotal {
+				badPtr(blk)
+				continue
+			}
+			bl.refs = append(bl.refs, blk)
+			bl.data = append(bl.data, blk)
+		}
+	}
+	return bl, probs, nil
+}
+
+// dirTask is one directory's unit of parallel checking: blocks and probs
+// are filled by the serial load stage, the rest by checkDir on a worker.
+type dirTask struct {
+	ino    uint32
+	blocks inodeBlocks
+	probs  []Problem
+
+	refIncs    []uint32 // inodes referenced by this dir's entries, one per entry
+	childDirs  []uint32 // referenced dirs, entry order
+	childFiles []uint32 // referenced non-dirs, entry order
+}
+
+// fileTask is one file's unit of parallel block accounting.
+type fileTask struct {
+	ino    uint32
+	blocks inodeBlocks
+	probs  []Problem
+}
+
+// checkDir runs every in-memory check for one directory: bitmap marks
+// for its blocks, then the paper's §3.2 entry checks. It touches only
+// the prefetched cache and shared read-only state, so any number of
+// checkDir calls run concurrently.
+func (f *fsckRun) checkDir(t *dirTask) {
+	report := func(code, format string, args ...any) {
+		t.probs = append(t.probs, Problem{Code: code, Detail: fmt.Sprintf(format, args...)})
+	}
+	for _, blk := range t.blocks.refs {
+		if !bitmapGet(f.blockBitmap, blk) {
+			report("block-not-marked", "dir inode %d uses block %d not marked in bitmap", t.ino, blk)
+		}
+	}
+	var haveDot, haveDotDot bool
+	for _, blk := range t.blocks.data {
+		buf := f.cache.cached(blk)
+		if buf == nil {
+			continue
+		}
+		for _, de := range parseDirBlock(buf) {
+			switch de.name {
+			case ".":
+				haveDot = true
+				continue
+			case "..":
+				haveDotDot = true
+				continue
+			}
+			if de.ino == 0 || de.ino > f.sb.inodesTotal {
+				report("dangling-entry", "dir %d entry %q points to invalid inode %d", t.ino, de.name, de.ino)
+				continue
+			}
+			if !bitmapGet(f.inodeBitmap, de.ino) {
+				report("dangling-entry", "dir %d entry %q points to free inode %d", t.ino, de.name, de.ino)
+				continue
+			}
+			child, _ := f.inode(de.ino)
+			if child.mode == 0 && child.nlink == 0 {
+				report("zeroed-inode", "dir %d entry %q points to zeroed inode %d", t.ino, de.name, de.ino)
+				continue
+			}
+			t.refIncs = append(t.refIncs, de.ino)
+			if vfs.Mode(child.mode).IsDir() {
+				t.childDirs = append(t.childDirs, de.ino)
+			} else {
+				t.childFiles = append(t.childFiles, de.ino)
 			}
 		}
 	}
-	return out
+	if !haveDot || !haveDotDot {
+		report("missing-dot", "dir inode %d lacks . or ..", t.ino)
+	}
+}
+
+// blockCache is fsck's single-read view of the device: load reads a
+// block at most once, during the serial prefetch stages, and cached
+// hands the parallel passes read-only slices. Keeping every device read
+// in serial stages is what makes the worker count invisible to the
+// virtual clock.
+type blockCache struct {
+	dev    blockdev.Device
+	blocks map[uint32][]byte
+}
+
+func newBlockCache(dev blockdev.Device) *blockCache {
+	return &blockCache{dev: dev, blocks: make(map[uint32][]byte)}
+}
+
+// load returns blk's contents, reading it from the device on first use.
+// Serial stages only — the map is unguarded by design.
+func (c *blockCache) load(blk uint32) ([]byte, error) {
+	if buf, ok := c.blocks[blk]; ok {
+		return buf, nil
+	}
+	buf := make([]byte, BlockSize)
+	if err := c.dev.ReadAt(buf, int64(blk)*BlockSize); err != nil {
+		return nil, err
+	}
+	c.blocks[blk] = buf
+	return buf, nil
+}
+
+// cached returns blk's contents if a prefetch stage loaded them, nil
+// otherwise. Safe for concurrent readers: the map is never mutated while
+// a parallel pass runs.
+func (c *blockCache) cached(blk uint32) []byte { return c.blocks[blk] }
+
+// parallelFor runs fn(0..n-1) across up to workers goroutines, handing
+// out indices through an atomic counter. fn must confine its writes to
+// its own index's result slot; completion of the call is the barrier.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,269 @@
+package extfs
+
+import (
+	"errors"
+	"testing"
+
+	"mcfs/internal/blockdev"
+	"mcfs/internal/errno"
+	"mcfs/internal/fault"
+	"mcfs/internal/vfs"
+)
+
+// Fsck tests: the parallel checker must find the same problems at every
+// worker count, must not let a faulted device read pass as a clean
+// verdict, and must survive corrupt pointers without panicking.
+
+// messyVolume builds an unmounted image with one of every problem class:
+// a shared block, an orphan inode, a bad link count, nested directories,
+// and a legitimate hard link that must NOT be reported.
+func messyVolume(t *testing.T) blockdev.Device {
+	t.Helper()
+	f, dev, _ := newVolume(t, MkfsOptions{})
+	sub := mustMkdir(t, f, f.Root(), "sub")
+	deep := mustMkdir(t, f, sub, "deep")
+	a := mustCreate(t, f, f.Root(), "a")
+	b := mustCreate(t, f, sub, "b")
+	c := mustCreate(t, f, deep, "c")
+	mustCreate(t, f, f.Root(), "lost")
+	for i, ino := range []vfs.Ino{a, b, c} {
+		if _, e := f.Write(ino, 0, []byte{byte('a' + i), byte('a' + i), byte('a' + i)}); e != errno.OK {
+			t.Fatal(e)
+		}
+	}
+	if e := f.Link(c, deep, "c-alias"); e != errno.OK {
+		t.Fatal(e)
+	}
+	// Corruption 1: b's first block aliases a's first block.
+	bi := f.getInode(uint32(b))
+	bi.direct[0] = f.getInode(uint32(a)).direct[0]
+	f.markDirty(bi)
+	// Corruption 2: orphan — drop lost's directory entry, keep the inode.
+	if e := f.removeDirEntry(f.getInode(RootIno), "lost"); e != errno.OK {
+		t.Fatal(e)
+	}
+	// Corruption 3: b lies about its link count.
+	bi.nlink = 9
+	f.markDirty(bi)
+	if err := f.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func codeCounts(probs []Problem) map[string]int {
+	m := make(map[string]int)
+	for _, p := range probs {
+		m[p.Code]++
+	}
+	return m
+}
+
+func TestFsckWorkerCountsAgree(t *testing.T) {
+	dev := messyVolume(t)
+	base, err := FsckWith(dev, FsckOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := codeCounts(base)
+	for _, want := range []string{"block-shared", "orphan-inode", "bad-nlink"} {
+		if counts[want] == 0 {
+			t.Errorf("serial fsck missed %s: %v", want, base)
+		}
+	}
+	// The hard link must not masquerade as a shared block.
+	if counts["block-shared"] != 1 {
+		t.Errorf("block-shared count = %d, want 1 (hard link double-counted?)", counts["block-shared"])
+	}
+	for _, workers := range []int{2, 4, 8} {
+		for trial := 0; trial < 5; trial++ {
+			got, err := FsckWith(dev, FsckOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(base) {
+				t.Fatalf("workers=%d trial %d: %d problems, serial found %d\n%v\nvs\n%v",
+					workers, trial, len(got), len(base), got, base)
+			}
+			for i := range got {
+				if got[i] != base[i] {
+					t.Fatalf("workers=%d trial %d: problem %d = %v, serial has %v",
+						workers, trial, i, got[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFsckParallelCleanImage(t *testing.T) {
+	f, dev, _ := newVolume(t, MkfsOptions{Journal: true})
+	sub := mustMkdir(t, f, f.Root(), "sub")
+	ino := mustCreate(t, f, sub, "file")
+	if _, e := f.Write(ino, 0, make([]byte, 3*BlockSize)); e != errno.OK {
+		t.Fatal(e)
+	}
+	if err := f.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	probs, err := FsckWith(dev, FsckOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		t.Errorf("clean image problem: %v", p)
+	}
+}
+
+func TestFsckParallelSharedBlockImage(t *testing.T) {
+	f, dev, _ := newVolume(t, MkfsOptions{})
+	a := mustCreate(t, f, f.Root(), "a")
+	b := mustCreate(t, f, f.Root(), "b")
+	if _, e := f.Write(a, 0, []byte("aaa")); e != errno.OK {
+		t.Fatal(e)
+	}
+	if _, e := f.Write(b, 0, []byte("bbb")); e != errno.OK {
+		t.Fatal(e)
+	}
+	bi := f.getInode(uint32(b))
+	bi.direct[0] = f.getInode(uint32(a)).direct[0]
+	f.markDirty(bi)
+	if err := f.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	probs, err := FsckWith(dev, FsckOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codeCounts(probs)["block-shared"] == 0 {
+		t.Errorf("parallel fsck missed shared block: %v", probs)
+	}
+}
+
+func TestFsckParallelOrphanImage(t *testing.T) {
+	f, dev, _ := newVolume(t, MkfsOptions{})
+	mustCreate(t, f, f.Root(), "victim")
+	if e := f.removeDirEntry(f.getInode(RootIno), "victim"); e != errno.OK {
+		t.Fatal(e)
+	}
+	if err := f.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	probs, err := FsckWith(dev, FsckOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codeCounts(probs)["orphan-inode"] == 0 {
+		t.Errorf("parallel fsck missed orphan: %v", probs)
+	}
+}
+
+func TestFsckHardLinkedBlocksNotShared(t *testing.T) {
+	// Two directory entries naming one inode share its blocks by design;
+	// the old per-entry accounting reported them as block-shared.
+	f, dev, _ := newVolume(t, MkfsOptions{})
+	ino := mustCreate(t, f, f.Root(), "orig")
+	if _, e := f.Write(ino, 0, []byte("payload")); e != errno.OK {
+		t.Fatal(e)
+	}
+	if e := f.Link(ino, f.Root(), "alias"); e != errno.OK {
+		t.Fatal(e)
+	}
+	if err := f.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	probs, err := Fsck(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		t.Errorf("hard-linked file reported: %v", p)
+	}
+}
+
+func TestFsckFaultedIndirectReadSurfacesError(t *testing.T) {
+	// A read fault on an inode's indirect block must abort fsck with an
+	// error — the old collectBlocks swallowed it and returned a partial
+	// block list, letting corrupt images pass as clean.
+	f, dev, _ := newVolume(t, MkfsOptions{})
+	ino := mustCreate(t, f, f.Root(), "big")
+	if _, e := f.Write(ino, 0, make([]byte, (NumDirect+2)*BlockSize)); e != errno.OK {
+		t.Fatal(e)
+	}
+	indir := f.getInode(uint32(ino)).indir
+	if indir == 0 {
+		t.Fatal("big file has no indirect block")
+	}
+	if err := f.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	disk := dev.(*blockdev.Disk)
+	inj := fault.New()
+	disk.SetInjector(inj)
+	mediaFault := errors.New("media read fault")
+	inj.AddRule(fault.Rule{
+		Kind: fault.KindReadError,
+		Off:  int64(indir) * BlockSize,
+		Len:  BlockSize,
+		Err:  mediaFault,
+	})
+	if _, err := Fsck(dev); !errors.Is(err, mediaFault) {
+		t.Errorf("Fsck with faulted indirect read = %v, want the media fault surfaced", err)
+	}
+	inj.ClearRules()
+	probs, err := Fsck(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		t.Errorf("problem after fault cleared: %v", p)
+	}
+}
+
+func TestFsckOutOfRangeBlockPointer(t *testing.T) {
+	// A wild block pointer (beyond the volume) must be reported, not
+	// dereferenced or judged against the bitmap (which would panic).
+	f, dev, _ := newVolume(t, MkfsOptions{})
+	ino := mustCreate(t, f, f.Root(), "wild")
+	ci := f.getInode(uint32(ino))
+	ci.direct[0] = 0xFFFF0000
+	ci.indir = 0xFFFF1111
+	f.markDirty(ci)
+	if err := f.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	probs, err := Fsck(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codeCounts(probs)["block-out-of-range"] != 2 {
+		t.Errorf("block-out-of-range count = %d, want 2: %v", codeCounts(probs)["block-out-of-range"], probs)
+	}
+}
+
+func TestStateCompareMask(t *testing.T) {
+	_, dev, _ := newVolume(t, MkfsOptions{Journal: true})
+	mask, err := StateCompareMask(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flags word, mount counter, journal region.
+	if len(mask) != 3 {
+		t.Fatalf("journal volume mask = %v, want 3 regions", mask)
+	}
+	if mask[0] != (fault.Region{Off: sbFlagsOff, Len: 4}) ||
+		mask[1] != (fault.Region{Off: sbMountCntOff, Len: 4}) {
+		t.Errorf("superblock mask regions = %v", mask[:2])
+	}
+	if mask[2].Len != int64(DefaultJournalBlocks)*BlockSize {
+		t.Errorf("journal mask region = %v, want %d bytes", mask[2], DefaultJournalBlocks*BlockSize)
+	}
+
+	_, plain, _ := newVolume(t, MkfsOptions{})
+	mask, err = StateCompareMask(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mask) != 2 {
+		t.Errorf("journalless volume mask = %v, want 2 regions", mask)
+	}
+}

@@ -9,15 +9,18 @@
 // oracle is mount-only — recovery must succeed and produce a mountable,
 // checkable volume.
 //
-// The probe is systematic, not random: the operation is first executed
-// once under an open fault window to measure its write count W, the
-// device is rolled back, and then the op is re-executed with a crash
-// point armed at each sampled write index k (all of them when W is
-// small, an even spread including 0 and W-1 otherwise). Determinism is
-// inherited from the fault plane: the same operation sequence produces
-// the same write sequence, so a crash bug pins to (trail, target, write
-// index) and flows through the journal/replay/minimize/bundle pipeline
-// like any other discrepancy.
+// The probe is systematic, not random: the operation is executed ONCE
+// under an open fault window with a crash point armed at every write
+// index up to maxArmedPoints — the injector snapshots the media at each
+// armed write as it happens — which measures the write count W and
+// captures every crash image in the same pass. The sampled indices (all
+// of them when W is small, an even spread including 0 and W-1
+// otherwise) are then judged from the captured images without ever
+// re-executing the window. Determinism is inherited from the fault
+// plane: the same operation sequence produces the same write sequence,
+// so a crash bug pins to (trail, target, write index) and flows through
+// the journal/replay/minimize/bundle pipeline like any other
+// discrepancy.
 package mc
 
 import (
@@ -35,9 +38,18 @@ import (
 // KindCrashConsistency is the discrepancy kind of crash-recovery bugs.
 const KindCrashConsistency = "crash-consistency"
 
+// maxArmedPoints bounds how many crash points one probe execution arms:
+// a media image is captured at each of the window's first maxArmedPoints
+// writes. Sampled points beyond the armed prefix (windows longer than 64
+// writes) fall back to a dedicated capture execution per point.
+const maxArmedPoints = 64
+
 // DefaultCrashPointsPerOp is how many crash points are sampled per
-// (state, operation, target) when the write window is larger.
-const DefaultCrashPointsPerOp = 4
+// (state, operation, target) when the write window is larger. With
+// single-execution multi-point capture and warm recovery mounts the
+// marginal point is cheap, so the default is effectively exhaustive:
+// every write of any window up to maxArmedPoints writes.
+const DefaultCrashPointsPerOp = maxArmedPoints
 
 // CrashPlane is one target's crash-testing surface. It is deliberately
 // self-contained — closures over the session's kernel, device, and
@@ -66,6 +78,25 @@ type CrashPlane struct {
 	// target's recovery path (journal replay, log scan). An error means
 	// recovery itself failed.
 	PowerCycle func(img []byte) error
+	// RestoreDelta and PowerCycleDelta, when set, are delta-session
+	// variants of Restore and PowerCycle: instead of reloading the full
+	// image they reload only the regions the injector's touch log says
+	// have diverged from it, plus extra — regions the caller knows
+	// diverged outside the log's view (a crash image loaded since the
+	// log's last reset). Both must fall back to the full-image path on
+	// their own when the touch log is unusable. RestoreDelta additionally
+	// resets the touch log once the media matches img again, so the log
+	// describes divergence from img from then on.
+	RestoreDelta    func(img []byte, extra []fault.Region) error
+	PowerCycleDelta func(img []byte, extra []fault.Region) error
+	// MediaDigest, when set, hashes the device media over the given
+	// regions, masking byte ranges that may differ between equivalent
+	// states (superblock dirty flags, mount counters, replayed journal
+	// space). ok == false means the digest could not be computed (a read
+	// failed) and the caller must fall back to the full oracle. Two
+	// recovered images with equal digests over their divergence regions
+	// are state-equivalent: Fsck and MetaHash never read masked bytes.
+	MediaDigest func(regions []fault.Region) ([32]byte, bool)
 	// MetaHash abstracts the target's current state for the oracle,
 	// ignoring file content (data writes are legitimately non-atomic).
 	MetaHash func() (abstraction.State, errno.Errno)
@@ -113,6 +144,11 @@ func (c *CrashStats) Merge(other CrashStats) {
 
 // crashPoints samples m write indices out of a window of w writes: all
 // of them when w <= m, otherwise an even spread including 0 and w-1.
+// m == 1 samples the FIRST write — a crash before anything but write 0
+// persists is the sharpest single probe of the recovery path, and the
+// documented behavior (a long-standing bug sampled w-1 instead, which
+// for journaled targets lands after the commit record and exercises
+// nothing).
 func crashPoints(w, m int) []int {
 	if m <= 0 {
 		m = DefaultCrashPointsPerOp
@@ -125,7 +161,7 @@ func crashPoints(w, m int) []int {
 		return pts
 	}
 	if m == 1 {
-		return []int{w - 1}
+		return []int{0}
 	}
 	pts := make([]int, m)
 	for i := range pts {
@@ -135,10 +171,15 @@ func crashPoints(w, m int) []int {
 }
 
 // crashWindow executes op once on the plane's target inside a fault
-// window, with a crash point armed at write k (k < 0: measurement run,
-// nothing armed). It returns the window's write count. The operation's
-// errno is irrelevant here — failing operations have write windows too.
-func crashWindow(cfg *Config, p *CrashPlane, op workload.Op, k int) (int, error) {
+// window, with crash points armed at the given write indices (nil:
+// measurement run, nothing armed). It returns the window's write count.
+// The operation's errno is irrelevant here — failing operations have
+// write windows too. On EVERY exit path the injector is left with zero
+// armed points: captured images are kept for the caller to drain on
+// success and dropped on failure, but an arm must never outlive the
+// window it was set for (a leftover arm would silently capture in the
+// next window).
+func crashWindow(cfg *Config, p *CrashPlane, op workload.Op, points []int) (int, error) {
 	mt := cfg.Perf.Start(perf.PhaseRemount)
 	if err := p.PreOp(); err != nil {
 		mt.End()
@@ -146,8 +187,8 @@ func crashWindow(cfg *Config, p *CrashPlane, op workload.Op, k int) (int, error)
 	}
 	mt.End()
 	p.Injector.StartWindow()
-	if k >= 0 {
-		p.Injector.ArmCrash(k)
+	if len(points) > 0 {
+		p.Injector.ArmCrashes(points)
 	}
 	et := cfg.Perf.Start(perf.PhaseExecute)
 	workload.Execute(cfg.Kernel, p.Mount, op)
@@ -160,6 +201,7 @@ func crashWindow(cfg *Config, p *CrashPlane, op workload.Op, k int) (int, error)
 		p.Injector.Disarm()
 		return 0, fmt.Errorf("post-op: %w", err)
 	}
+	p.Injector.DisarmPending()
 	return p.Injector.WindowWrites(), nil
 }
 
@@ -252,8 +294,27 @@ func (e *engine) crashProbe(depth int, op workload.Op) error {
 	return nil
 }
 
-// probePlane measures op's write window on one plane, then crash-tests
-// the sampled points.
+// probePlane crash-tests op's write window on one plane out of a SINGLE
+// armed execution.
+//
+// This is the crash oracle's recovery session: the full device image is
+// read exactly once (the snapshot), one execution of the window both
+// measures its write count and captures a media image at every armed
+// write as it happens, and the injector's touch log scopes every
+// subsequent power-cycle and the final rollback to the bytes that
+// actually diverged. The crash points are judged back to back — each
+// power-cycle delta-loads the next captured image directly over the
+// previous recovered state, with no rollback to pre in between (the
+// touch log plus the window's write set bound the divergence) — and the
+// probe rolls back to pre once, at the end. Compared to the original
+// per-point flow — re-execute the window once per point, reload the
+// full image twice per point — a probe of K points costs 1 execution
+// instead of 1+K, K warm recovery mounts, and one delta rollback.
+//
+// Post-recovery verdicts are memoized per probe by a masked digest of
+// the media regions that diverged from the pre-op image: crash points
+// that recover to state-equivalent media (common when consecutive
+// writes land in masked journal space) are judged once.
 func (e *engine) probePlane(depth int, op workload.Op, p *CrashPlane) error {
 	ct := e.cfg.Perf.Start(perf.PhaseCheckpoint)
 	pre, err := p.Snapshot()
@@ -261,14 +322,23 @@ func (e *engine) probePlane(depth int, op workload.Op, p *CrashPlane) error {
 	if err != nil {
 		return err
 	}
+	// From here until the probe ends, the touch log tracks divergence
+	// from pre. RestoreDelta resets it whenever media is rolled back.
+	p.Injector.StartTouchLog()
+	defer p.Injector.StopTouchLog()
 	ht := e.cfg.Perf.Start(perf.PhaseHash)
 	b0, er := p.MetaHash()
 	ht.End()
 	if er != errno.OK {
 		return fmt.Errorf("hashing pre-op state: %w", er)
 	}
-	// Measurement run: how many writes does this op perform here?
-	w, err := crashWindow(&e.cfg, p, op, -1)
+	// The one armed execution: measures the window's write count AND
+	// captures a crash image at every write index in the armed prefix.
+	armAll := make([]int, maxArmedPoints)
+	for i := range armAll {
+		armAll[i] = i
+	}
+	w, err := crashWindow(&e.cfg, p, op, armAll)
 	if err != nil {
 		return err
 	}
@@ -279,10 +349,15 @@ func (e *engine) probePlane(depth int, op workload.Op, p *CrashPlane) error {
 	if er != errno.OK {
 		return fmt.Errorf("hashing post-op state: %w", er)
 	}
-	if err := e.restorePlane(p, pre); err != nil {
-		return fmt.Errorf("rolling back measurement run: %w", err)
-	}
 	e.crashStats.Probes++
+	imgs := p.Injector.TakeCrashImages()
+	// The window's write set, read BEFORE anything resets the log: every
+	// captured image diverges from pre only inside it, so it is the
+	// `extra` for delta operations against images other than pre.
+	capRegions, capOK := p.Injector.Touched()
+	if !capOK {
+		capRegions = nil
+	}
 
 	points := crashPoints(w, e.cfg.Crash.PointsPerOp)
 	rec := journal.CrashRecord{
@@ -296,32 +371,42 @@ func (e *engine) probePlane(depth int, op workload.Op, p *CrashPlane) error {
 		opRec := journal.EncodeOp(op)
 		rec.Op = &opRec
 	}
+
+	memo := make(map[[32]byte]crashVerdict)
 	for _, k := range points {
 		if !e.budgetLeft() {
 			break
 		}
-		if _, err := crashWindow(&e.cfg, p, op, k); err != nil {
-			return err
-		}
-		e.countCrashExec()
-		img := p.Injector.TakeCrashImage()
+		img := imgs[k]
 		if img == nil {
-			// The armed write never happened (a fault rule erred the op
-			// short of write k, or the window shrank): nothing to test.
-			if err := e.restorePlane(p, pre); err != nil {
-				return fmt.Errorf("rolling back crash run: %w", err)
+			if k < maxArmedPoints {
+				// The armed write never happened (a fault rule erred the
+				// op short of write k): nothing to test.
+				continue
 			}
-			continue
+			// Beyond the armed prefix (window longer than maxArmedPoints):
+			// capture this point with a dedicated execution from pre.
+			if err := e.restorePlaneDelta(p, pre, capRegions); err != nil {
+				return fmt.Errorf("rolling back for capture of write %d: %w", k, err)
+			}
+			if _, err := crashWindow(&e.cfg, p, op, []int{k}); err != nil {
+				return err
+			}
+			e.countCrashExec()
+			img = p.Injector.TakeCrashImage()
+			if img == nil {
+				continue
+			}
 		}
 		e.crashStats.PointsExplored++
 		if e.eobs != nil {
 			e.eobs.crashPoints.Inc()
 		}
-		d := crashOracle(e.cfg.Perf, p, op, k, w, img, b0, b1)
-		if err := e.restorePlane(p, pre); err != nil {
-			return fmt.Errorf("rolling back crash run: %w", err)
-		}
+		d := e.judgeCrashPoint(p, op, k, w, img, capRegions, capOK, b0, b1, memo)
 		if d != nil {
+			if err := e.restorePlaneDelta(p, pre, capRegions); err != nil {
+				return fmt.Errorf("rolling back crash probe: %w", err)
+			}
 			rec.OK = false
 			e.cfg.Journal.Crash(depth, rec)
 			e.report(d, op)
@@ -337,8 +422,138 @@ func (e *engine) probePlane(depth int, op workload.Op, p *CrashPlane) error {
 			e.eobs.crashRecoveries.Inc()
 		}
 	}
+	// One rollback for the whole probe: media currently holds the last
+	// recovered crash state (or the post-op state when no point fired).
+	if err := e.restorePlaneDelta(p, pre, capRegions); err != nil {
+		return fmt.Errorf("rolling back crash probe: %w", err)
+	}
+	if n := p.Injector.Armed(); n != 0 {
+		return fmt.Errorf("crash probe leaked %d armed crash point(s)", n)
+	}
 	e.cfg.Journal.Crash(depth, rec)
 	return nil
+}
+
+// crashVerdict memoizes the state-dependent half of one crash point's
+// judgment: the fsck report and (for strict planes) the recovered
+// abstract state. Keyed by the masked digest of the recovered media's
+// divergence from the pre-op image, it is valid for any crash point of
+// the same probe that recovers to state-equivalent media.
+type crashVerdict struct {
+	fsckProbs []string
+	state     abstraction.State
+	stateErr  errno.Errno
+	hasState  bool
+}
+
+// discrepancy renders the memoized verdict against one concrete crash
+// point (nil when the recovery is consistent).
+func (v crashVerdict) discrepancy(where string, op workload.Op, p *CrashPlane, b0, b1 abstraction.State) *checker.Discrepancy {
+	if len(v.fsckProbs) > 0 {
+		return &checker.Discrepancy{
+			Kind:    KindCrashConsistency,
+			Op:      op.String(),
+			Details: append([]string{where, "fsck after recovery:"}, v.fsckProbs...),
+		}
+	}
+	if !v.hasState {
+		return nil
+	}
+	if v.stateErr != errno.OK {
+		return &checker.Discrepancy{
+			Kind: KindCrashConsistency,
+			Op:   op.String(),
+			Details: []string{
+				where,
+				fmt.Sprintf("hashing recovered state: %v", v.stateErr),
+			},
+		}
+	}
+	if v.state != b0 && v.state != b1 {
+		return &checker.Discrepancy{
+			Kind: KindCrashConsistency,
+			Op:   op.String(),
+			Details: []string{
+				where,
+				"recovered state matches neither the pre-op nor the post-op state",
+				fmt.Sprintf("recovered %x", v.state[:8]),
+				fmt.Sprintf("pre-op    %x", b0[:8]),
+				fmt.Sprintf("post-op   %x", b1[:8]),
+			},
+		}
+	}
+	return nil
+}
+
+// judgeCrashPoint power-cycles the plane on one captured crash image
+// (delta-loading only the capture run's write set when the session
+// supports it) and judges the recovered state. Before running the
+// expensive checks it digests the recovered media's divergence from the
+// pre-op image — capRegions plus whatever recovery itself wrote — and
+// reuses the memoized verdict of any earlier point in this probe that
+// recovered to masked-identical media. Callable from ANY media state
+// whose divergence from img is bounded by capRegions plus the touch
+// log (the post-op state, or a previous point's recovered state);
+// returns with media == img-after-recovery. The caller rolls back once
+// after the last point.
+func (e *engine) judgeCrashPoint(p *CrashPlane, op workload.Op, k, w int, img []byte,
+	capRegions []fault.Region, capOK bool, b0, b1 abstraction.State,
+	memo map[[32]byte]crashVerdict) *checker.Discrepancy {
+
+	where := fmt.Sprintf("%s: crash after write %d/%d of %s", p.Name, k+1, w, op)
+	mt := e.cfg.Perf.Start(perf.PhaseRemount)
+	var err error
+	if capOK && p.PowerCycleDelta != nil {
+		err = p.PowerCycleDelta(img, capRegions)
+	} else {
+		err = p.PowerCycle(img)
+	}
+	mt.End()
+	if err != nil {
+		return &checker.Discrepancy{
+			Kind: KindCrashConsistency,
+			Op:   op.String(),
+			Details: []string{
+				where,
+				fmt.Sprintf("recovery failed: %v", err),
+			},
+		}
+	}
+	// Fast path: masked digest of everything that diverged from pre —
+	// the crash image's writes plus recovery's own (journal replay).
+	// Planes with no post-recovery checks at all have nothing to
+	// memoize, so skip the digest reads.
+	var dig [32]byte
+	haveDig := false
+	if p.MediaDigest != nil && (p.Strict || p.Fsck != nil) {
+		ot := e.cfg.Perf.Start(perf.PhaseOracle)
+		if recovered, ok := p.Injector.Touched(); ok {
+			regions := fault.CoalesceRegions(append(append([]fault.Region(nil), capRegions...), recovered...))
+			dig, haveDig = p.MediaDigest(regions)
+		}
+		ot.End()
+		if haveDig {
+			if v, hit := memo[dig]; hit {
+				return v.discrepancy(where, op, p, b0, b1)
+			}
+		}
+	}
+	var v crashVerdict
+	if p.Fsck != nil {
+		ft := e.cfg.Perf.Start(perf.PhaseFsck)
+		v.fsckProbs = p.Fsck()
+		ft.End()
+	}
+	if p.Strict {
+		ht := e.cfg.Perf.Start(perf.PhaseHash)
+		v.state, v.stateErr = p.MetaHash()
+		ht.End()
+		v.hasState = true
+	}
+	if haveDig {
+		memo[dig] = v
+	}
+	return v.discrepancy(where, op, p, b0, b1)
 }
 
 // countCrashExec charges one probed execution against the op budget —
@@ -353,11 +568,19 @@ func (e *engine) countCrashExec() {
 		e.crashStats.PointsExplored, len(e.trail))
 }
 
-// restorePlane rolls the plane's device image back, attributing the
-// rollback to the restore phase.
-func (e *engine) restorePlane(p *CrashPlane, img []byte) error {
+// restorePlaneDelta rolls the plane's device image back to img,
+// attributing the rollback to the restore phase. Planes with a delta
+// session reload only the diverged regions (the injector's touch log
+// plus extra — regions the caller knows diverged outside the log's
+// view); others reload the full image.
+func (e *engine) restorePlaneDelta(p *CrashPlane, img []byte, extra []fault.Region) error {
 	rt := e.cfg.Perf.Start(perf.PhaseRestore)
-	err := p.Restore(img)
+	var err error
+	if p.RestoreDelta != nil {
+		err = p.RestoreDelta(img, extra)
+	} else {
+		err = p.Restore(img)
+	}
 	rt.End()
 	return err
 }
@@ -380,7 +603,7 @@ func replayCrashSpec(cfg Config, op workload.Op, spec *journal.CrashSpec) (*chec
 	if er != errno.OK {
 		return nil, fmt.Errorf("mc: crash replay: hashing pre-op state: %w", er)
 	}
-	w, err := crashWindow(&cfg, p, op, -1)
+	w, err := crashWindow(&cfg, p, op, nil)
 	if err != nil {
 		return nil, fmt.Errorf("mc: crash replay: %w", err)
 	}
@@ -394,7 +617,7 @@ func replayCrashSpec(cfg Config, op workload.Op, spec *journal.CrashSpec) (*chec
 	if spec.Write >= w {
 		return nil, nil // window shrank below the recorded crash point
 	}
-	if _, err := crashWindow(&cfg, p, op, spec.Write); err != nil {
+	if _, err := crashWindow(&cfg, p, op, []int{spec.Write}); err != nil {
 		return nil, fmt.Errorf("mc: crash replay: %w", err)
 	}
 	img := p.Injector.TakeCrashImage()

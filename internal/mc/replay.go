@@ -257,7 +257,7 @@ func replayCrashRecord(cfg Config, op workload.Op, rec *journal.CrashRecord) (*c
 	if er != errno.OK {
 		return nil, fmt.Errorf("hashing pre-op state: %w", er)
 	}
-	w, err := crashWindow(&cfg, p, op, -1)
+	w, err := crashWindow(&cfg, p, op, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +272,7 @@ func replayCrashRecord(cfg Config, op workload.Op, rec *journal.CrashRecord) (*c
 		if k >= w {
 			continue
 		}
-		if _, err := crashWindow(&cfg, p, op, k); err != nil {
+		if _, err := crashWindow(&cfg, p, op, []int{k}); err != nil {
 			return nil, err
 		}
 		img := p.Injector.TakeCrashImage()

@@ -54,13 +54,17 @@ const (
 	PhaseRemount = "remount"
 	// PhaseJournal is flight-recorder record encoding and appends.
 	PhaseJournal = "journal"
+	// PhaseOracle is the crash oracle's session-reuse bookkeeping: delta
+	// region digests and memoized-verdict lookups that replace full fsck
+	// and hash passes on already-judged recovered states.
+	PhaseOracle = "oracle"
 )
 
 // Phases lists every engine phase in presentation order.
 func Phases() []string {
 	return []string{
 		PhaseCheckpoint, PhaseExecute, PhaseVerify, PhaseRestore,
-		PhaseHash, PhaseFsck, PhaseRemount, PhaseJournal,
+		PhaseHash, PhaseFsck, PhaseRemount, PhaseJournal, PhaseOracle,
 	}
 }
 

@@ -37,6 +37,8 @@
 package mcfs
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -235,6 +237,11 @@ type Options struct {
 	// CrashPointsPerOp caps sampled crash points per probed operation
 	// (mc.DefaultCrashPointsPerOp when 0).
 	CrashPointsPerOp int
+	// FsckWorkers bounds the worker pool of the parallel post-recovery
+	// fsck on ext targets (0 = GOMAXPROCS, capped internally). Any value
+	// produces identical problem reports; this knob only trades CPU for
+	// latency.
+	FsckWorkers int
 }
 
 // Session is an assembled model-checking run: a simulated kernel with
@@ -250,6 +257,7 @@ type Session struct {
 	obsHub   *obs.Hub
 
 	crash       bool // crash exploration requested
+	fsckWorkers int
 	crashPlanes []mc.CrashPlane
 }
 
@@ -262,7 +270,8 @@ func NewSession(opts Options) (*Session, error) {
 	}
 	clock := simclock.New()
 	k := kernel.New(clock)
-	s := &Session{clock: clock, kern: k, obsHub: opts.Obs, crash: opts.CrashExploration}
+	s := &Session{clock: clock, kern: k, obsHub: opts.Obs, crash: opts.CrashExploration,
+		fsckWorkers: opts.FsckWorkers}
 	// Rebase the hub and profiler onto this session's virtual clock so
 	// every span, latency, and phase observation is in deterministic
 	// virtual time.
@@ -368,18 +377,43 @@ func crashEligible(ts TargetSpec) bool {
 	return !ts.DisablePerOpRemount && !ts.DiskOnlyTracking
 }
 
+// crashMedia is the delta-session surface of one crash plane's backing
+// device: partial image reloads, raw media reads for state digests, and
+// the mask of byte ranges two state-equivalent images may differ in.
+// Targets whose media cannot delta-reload (the MTD behind the mtdblock
+// bridge) run their crash planes without one, on full-image paths.
+type crashMedia struct {
+	loadDelta func(img []byte, regions []fault.Region) error
+	readAt    func(p []byte, off int64) error
+	mask      []fault.Region
+}
+
 // addCrashPlane installs one crash-testing surface for the target at
 // idx: snapshot/load access the target's media (the block device, or the
 // MTD behind the mtdblock bridge), and strict/fsck encode how much the
 // target guarantees after a power cut — ext4's journal promises the
 // pre-op or post-op state exactly, ext2 and jffs2 only promise a
-// mountable, recoverable volume.
+// mountable, recoverable volume. A non-nil media enables the crash
+// oracle's recovery session: rollbacks and power cuts reload only the
+// regions the injector's touch log reports diverged, and recovered
+// states are digested over those regions for verdict memoization.
 func (s *Session) addCrashPlane(idx int, point string, ts TargetSpec, inj *fault.Injector,
 	spec kernel.FilesystemSpec, snapshot func() ([]byte, error), load func([]byte) error,
-	strict bool, fsck func() []string) {
+	media *crashMedia, strict bool, fsck func() []string) {
 
 	k := s.kern
-	s.crashPlanes = append(s.crashPlanes, mc.CrashPlane{
+	// loadBack puts img on the media: a delta reload over the regions
+	// known to diverge (the touch log plus extra) when the log is usable,
+	// the full image otherwise.
+	loadBack := func(img []byte, extra []fault.Region) error {
+		regions, ok := inj.Touched()
+		if media == nil || !ok {
+			return load(img)
+		}
+		regions = append(regions, extra...)
+		return media.loadDelta(img, fault.CoalesceRegions(regions))
+	}
+	plane := mc.CrashPlane{
 		Target:   idx,
 		Name:     fmt.Sprintf("%s#%d", ts.Kind, idx),
 		Mount:    point,
@@ -412,7 +446,68 @@ func (s *Session) addCrashPlane(idx int, point string, ts TargetSpec, inj *fault
 		},
 		Fsck:   fsck,
 		Strict: strict,
-	})
+	}
+	if media != nil {
+		plane.RestoreDelta = func(img []byte, extra []fault.Region) error {
+			// The unmount flushes through the injector, so the touch log
+			// must be consulted after it — loadBack does.
+			if m, _, e := k.MountAt(point); e == errno.OK && m.Point() == point {
+				if err := k.Unmount(point); err != nil {
+					return err
+				}
+			}
+			if err := loadBack(img, extra); err != nil {
+				return err
+			}
+			// Media now matches img: from here the log describes
+			// divergence from it.
+			inj.ResetTouchLog()
+			return k.Mount(point, spec, kernel.MountOptions{})
+		}
+		plane.PowerCycleDelta = func(img []byte, extra []fault.Region) error {
+			// No reset: the loaded image diverges from the session's base
+			// snapshot, and the log (plus extra) must keep saying so.
+			return k.CrashRemount(point, func() error { return loadBack(img, extra) })
+		}
+		plane.MediaDigest = func(regions []fault.Region) ([32]byte, bool) {
+			return digestMedia(media, regions)
+		}
+	}
+	s.crashPlanes = append(s.crashPlanes, plane)
+}
+
+// digestMedia hashes the media bytes of the given regions, zeroing the
+// bytes under the media's compare mask so state-equivalent images
+// (differing only in superblock dirty flags, mount counters, or
+// replayed journal space) digest identically. Region offsets and
+// lengths are folded into the hash: a digest identifies both where the
+// media diverged and what it holds there.
+func digestMedia(media *crashMedia, regions []fault.Region) ([32]byte, bool) {
+	h := sha256.New()
+	var hdr [16]byte
+	var buf []byte
+	for _, r := range regions {
+		binary.LittleEndian.PutUint64(hdr[0:8], uint64(r.Off))
+		binary.LittleEndian.PutUint64(hdr[8:16], uint64(r.Len))
+		h.Write(hdr[:])
+		if int64(cap(buf)) < r.Len {
+			buf = make([]byte, r.Len)
+		}
+		b := buf[:r.Len]
+		if err := media.readAt(b, r.Off); err != nil {
+			return [32]byte{}, false
+		}
+		for _, m := range media.mask {
+			lo, hi := max(m.Off, r.Off), min(m.Off+m.Len, r.Off+r.Len)
+			for i := lo; i < hi; i++ {
+				b[i-r.Off] = 0
+			}
+		}
+		h.Write(b)
+	}
+	var d [32]byte
+	h.Sum(d[:0])
+	return d, true
 }
 
 func (s *Session) mountTarget(point string, ts TargetSpec, idx int) error {
@@ -424,7 +519,10 @@ func (s *Session) mountTarget(point string, ts TargetSpec, idx int) error {
 		if size == 0 {
 			size = 256 * 1024 // the paper's 256 KB ext devices
 		}
-		var mopts extfs.MountOpts
+		// One mount cache per device: every remount of the same validated
+		// geometry — per-op brackets, backtracking restores, crash-probe
+		// power cycles — pays warm-mount CPU instead of full validation.
+		mopts := extfs.MountOpts{Cache: extfs.NewMountCache()}
 		for _, b := range ts.Bugs {
 			if b == BugJournalCommitFirst && ts.Kind == "ext4" {
 				mopts.JournalCommitFirst = true
@@ -450,8 +548,9 @@ func (s *Session) mountTarget(point string, ts TargetSpec, idx int) error {
 			dev.SetInjector(inj)
 			var fsck func() []string
 			if ts.Kind == "ext4" {
+				workers := s.fsckWorkers
 				fsck = func() []string {
-					probs, err := extfs.Fsck(dev)
+					probs, err := extfs.FsckWith(dev, extfs.FsckOptions{Workers: workers})
 					if err != nil {
 						return []string{fmt.Sprintf("fsck error: %v", err)}
 					}
@@ -462,7 +561,12 @@ func (s *Session) mountTarget(point string, ts TargetSpec, idx int) error {
 					return out
 				}
 			}
-			s.addCrashPlane(idx, point, ts, inj, spec, dev.Snapshot, dev.LoadImage, ts.Kind == "ext4", fsck)
+			mask, err := extfs.StateCompareMask(dev)
+			if err != nil {
+				return fmt.Errorf("mcfs: computing %s compare mask: %w", ts.Kind, err)
+			}
+			media := &crashMedia{loadDelta: dev.LoadImageDelta, readAt: dev.ReadAt, mask: mask}
+			s.addCrashPlane(idx, point, ts, inj, spec, dev.Snapshot, dev.LoadImage, media, ts.Kind == "ext4", fsck)
 		}
 		return nil
 	case "xfs":
@@ -505,7 +609,9 @@ func (s *Session) mountTarget(point string, ts TargetSpec, idx int) error {
 		if s.crash && crashEligible(ts) {
 			inj := fault.New()
 			mtd.SetInjector(inj)
-			s.addCrashPlane(idx, point, ts, inj, spec, bridge.Snapshot, mtd.LoadImage, false, nil)
+			// The MTD cannot delta-reload; jffs2 crash planes stay on the
+			// full-image paths (nil media).
+			s.addCrashPlane(idx, point, ts, inj, spec, bridge.Snapshot, mtd.LoadImage, nil, false, nil)
 		}
 		return nil
 	case "verifs1", "verifs2":

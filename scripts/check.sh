@@ -16,7 +16,8 @@
 #      writes a repro bundle, mcfs replay must       to end: journal ->
 #      reproduce it, mcfs shrink must minimize it    bundle -> replay ->
 #                                                    shrink)
-#   7. go test -race ./internal/fault/...           (fault plane under
+#   7. go test -race ./internal/fault/...           (fault plane and the
+#         ./internal/fs/extfs/...                    parallel fsck under
 #                                                    the race detector)
 #   8. crash-exploration smoke: the seeded ext4     (fault injection end
 #      journal-ordering bug is found only under      to end: crash points
@@ -70,8 +71,8 @@ rc=0
 "$work/mcfs" replay "$bundle" >/dev/null || {
 	echo "FAIL: minimized bundle did not reproduce"; exit 1; }
 
-echo "==> go test -race ./internal/fault/..."
-go test -race ./internal/fault/...
+echo "==> go test -race ./internal/fault/... ./internal/fs/extfs/..."
+go test -race ./internal/fault/... ./internal/fs/extfs/...
 
 echo "==> crash-exploration smoke (-crash -> bundle -> replay -> shrink)"
 crashbundle="$work/crashbundle"
