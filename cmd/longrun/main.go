@@ -15,7 +15,9 @@
 // the hash-table resize crash, swap spill, and the late RAM-hit-rate
 // rebound). With -progress every simulated point streams to stderr as it
 // is computed; -metrics-addr serves the calibration run's metrics plus
-// the live figure3.* gauges as JSON; -journal flight-records the
+// the live figure3.* gauges as JSON, the calibration's exploration
+// event feed at /events (NDJSON), and per-worker health at /workers;
+// -journal flight-records the
 // calibration exploration to a replayable JSONL file. -crash calibrates
 // with crash-consistency checking on the ext pair and adds the crash
 // hot path — crash points per virtual second and the fsck share of
@@ -31,6 +33,7 @@ import (
 	"mcfs/internal/obs"
 	"mcfs/internal/obs/journal"
 	"mcfs/internal/obs/perf"
+	"mcfs/internal/obs/stream"
 )
 
 func main() {
@@ -80,6 +83,9 @@ func main() {
 	if *metricsAddr != "" {
 		hub := obs.New(obs.Options{})
 		cfg.Obs = hub
+		bus := stream.New(stream.Options{})
+		bus.SetObs(hub)
+		cfg.Stream = bus
 		srv, err := obs.ServeMetrics(*metricsAddr, func() any {
 			doc := struct {
 				obs.Snapshot
@@ -89,13 +95,15 @@ func main() {
 				doc.Perf = &snap
 			}
 			return doc
-		})
+		},
+			obs.Route{Pattern: "/events", Handler: stream.EventsHandler(bus)},
+			obs.Route{Pattern: "/workers", Handler: stream.WorkersHandler(bus)})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "longrun: %v\n", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr)
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (live: /events, /workers)\n", srv.Addr)
 	}
 
 	points, err := mcfs.RunFigure3(cfg)

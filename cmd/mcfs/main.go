@@ -10,6 +10,7 @@
 //	     [-swarm N] [-share-visited] [-parallelism P]
 //	     [-progress 1s] [-stall-ops N] [-metrics-addr :8080]
 //	     [-trace-dump] [-coverage] [-journal file] [-bundle dir]
+//	     [-events file] [-top 1s] [-crash-heatmap file]
 //	mcfs replay <bundle-dir>
 //	mcfs shrink <bundle-dir>
 //
@@ -35,6 +36,15 @@
 // JSON at /metrics (plus net/http/pprof under /debug/pprof/); -trace-dump
 // prints the cross-layer span trace of a reported bug trail; -coverage
 // prints the per-(operation, errno) outcome matrix after the run.
+//
+// Live stream: -events records every exploration event (steps, crash
+// verdicts, worker heartbeats, bugs) as NDJSON in deterministic virtual
+// time; -top refreshes a per-worker status block (health, counters,
+// check latency quantiles) on stderr; -metrics-addr additionally serves
+// the stream at /events (NDJSON) and worker health at /workers; with
+// -crash, -crash-heatmap writes the aggregated crash-verdict heatmap
+// (rows = ops, cols = write index, cells = b0/b1/fsck-repaired/bug) and
+// prints its text grid.
 //
 // Flight recorder: -journal records every nondeterministic engine choice
 // to a crash-safe JSONL file; -bundle dumps a bug-repro bundle directory
@@ -69,11 +79,14 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"mcfs"
 	"mcfs/internal/obs"
 	"mcfs/internal/obs/journal"
 	"mcfs/internal/obs/perf"
+	"mcfs/internal/obs/stream"
 )
 
 // metricsDoc is the /metrics JSON document: the merged hub snapshot's
@@ -132,6 +145,9 @@ func run() int {
 	coverage := flag.Bool("coverage", false, "print the per-(operation, errno) outcome matrix")
 	journalPath := flag.String("journal", "", "record the flight-recorder journal to this JSONL file")
 	bundleDir := flag.String("bundle", "", "write a bug-repro bundle to this directory when a discrepancy is found")
+	eventsPath := flag.String("events", "", "record the live exploration event stream to this NDJSON file")
+	top := flag.Duration("top", 0, "refresh a live per-worker status view at this wall-clock interval (0 = off)")
+	heatmapPath := flag.String("crash-heatmap", "", "write the aggregated crash-verdict heatmap (rows = ops, cols = write index) to this JSON file; needs -crash")
 	flag.Parse()
 
 	if len(fsKinds) < 2 {
@@ -142,9 +158,16 @@ func run() int {
 
 	// Observability stays fully off (nil hub, zero overhead) unless a
 	// flag needs it. Phase profiling likewise: a nil profiler costs one
-	// branch per phase boundary.
-	obsOn := *progress > 0 || *metricsAddr != "" || *traceDump || *bundleDir != ""
+	// branch per phase boundary. The event stream follows the same rule:
+	// a nil bus costs one branch per emit site.
+	obsOn := *progress > 0 || *metricsAddr != "" || *traceDump || *bundleDir != "" || *top > 0
 	perfOn := *phaseProfile || *metricsAddr != "" || *traceDump
+	streamOn := *eventsPath != "" || *top > 0 || *metricsAddr != ""
+
+	var bus *stream.Bus
+	if streamOn {
+		bus = stream.New(stream.Options{})
+	}
 
 	// The flight recorder journals to -journal; a -bundle without an
 	// explicit journal records to a scratch file so the bundle still
@@ -215,6 +238,11 @@ func run() int {
 			lanes = append(lanes, obs.Lane{Name: name, Hub: hubs[i]})
 		}
 	}
+	if bus != nil && obsOn {
+		// Surface ring-overflow drops as obs.stream.dropped on the first
+		// hub (merged snapshots sum it in with everything else).
+		bus.SetObs(hubs[0])
+	}
 	var perfs []*perf.Profiler
 	if perfOn {
 		perfs = make([]*perf.Profiler, nEngines)
@@ -246,13 +274,50 @@ func run() int {
 				snaps[i] = h.Snapshot()
 			}
 			return metricsDoc{Snapshot: obs.Merge(snaps...), Perf: mergedPerf()}
-		})
+		},
+			obs.Route{Pattern: "/events", Handler: stream.EventsHandler(bus)},
+			obs.Route{Pattern: "/workers", Handler: stream.WorkersHandler(bus)},
+		)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
 			return 1
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr)
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (live: /events, /workers)\n", srv.Addr)
+	}
+
+	if *eventsPath != "" {
+		stopSink, err := startEventSink(bus, *eventsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
+			return 1
+		}
+		defer stopSink()
+	}
+	if *top > 0 {
+		stopTop := startTopView(bus, hubs, *swarm > 0, *top)
+		defer stopTop()
+	}
+
+	// writeHeatmap dumps the aggregated crash-verdict heatmap artifact
+	// and renders its text grid (no-op without -crash-heatmap; a nil
+	// heatmap — run without -crash — yields an empty artifact).
+	writeHeatmap := func(hm *stream.Heatmap) {
+		if *heatmapPath == "" {
+			return
+		}
+		snap := hm.Snapshot()
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*heatmapPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcfs: crash heatmap: %v\n", err)
+			return
+		}
+		fmt.Println()
+		snap.WriteTable(os.Stdout)
+		fmt.Fprintf(os.Stderr, "crash heatmap written to %s\n", *heatmapPath)
 	}
 
 	reporter := obs.NewReporter(os.Stderr, *progress, lanes)
@@ -282,7 +347,7 @@ func run() int {
 		if err := jw.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "mcfs: journal: %v\n", err)
 		}
-		opts.Obs, opts.Journal, opts.Perf = nil, nil, nil
+		opts.Obs, opts.Journal, opts.Perf, opts.Stream = nil, nil, nil, nil
 		if err := mcfs.WriteBundle(*bundleDir, opts, res, jpath, metricsSnap()); err != nil {
 			fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
 			return
@@ -296,6 +361,7 @@ func run() int {
 			Parallelism:  *parallelism,
 			ShareVisited: *shareVisited,
 			Journal:      jw,
+			Stream:       bus,
 		}, func(seed int64) (mcfs.Options, error) {
 			var hub *obs.Hub
 			if obsOn {
@@ -338,6 +404,7 @@ func run() int {
 			printCoverage(sr.Coverage, sr.Crash)
 		}
 		printPerf(sr.Perf, *phaseProfile, *traceDump)
+		writeHeatmap(sr.CrashHeatmap)
 		if sr.Bug != nil {
 			if *bundleDir != "" {
 				// The bug worker's options (its seed included) are what a
@@ -364,6 +431,7 @@ func run() int {
 	}
 	opts := buildOptions(hub, prof)
 	opts.Journal = jw
+	opts.Stream = bus
 	session, err := mcfs.NewSession(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
@@ -380,6 +448,7 @@ func run() int {
 	if p := mergedPerf(); p != nil {
 		printPerf(*p, *phaseProfile, *traceDump)
 	}
+	writeHeatmap(res.CrashHeatmap)
 	if res.Bug != nil {
 		if *bundleDir != "" {
 			writeBundle(opts, res)
@@ -605,6 +674,113 @@ func printCoverage(cov mcfs.Coverage, crash mcfs.CrashStats) {
 		fmt.Println(row)
 	}
 	crashRow()
+}
+
+// startEventSink streams every bus event to path as NDJSON from a
+// dedicated goroutine behind a large lossy ring (the engine never
+// blocks on the file). The returned stop function drains the remainder,
+// closes the file, and reports any ring-overflow drops.
+func startEventSink(bus *stream.Bus, path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	sub := bus.Subscribe(1 << 16)
+	enc := json.NewEncoder(f)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			for _, ev := range sub.Drain() {
+				_ = enc.Encode(ev)
+			}
+			select {
+			case <-stop:
+				for _, ev := range sub.Drain() {
+					_ = enc.Encode(ev)
+				}
+				return
+			case <-sub.C():
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stop)
+			<-done
+			sub.Close()
+			if n := sub.Dropped(); n > 0 {
+				fmt.Fprintf(os.Stderr, "mcfs: event sink dropped %d events (ring full)\n", n)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "mcfs: event sink: %v\n", err)
+			}
+		})
+	}, nil
+}
+
+// startTopView refreshes a live per-worker status block on stderr every
+// interval: lifecycle, health, cumulative counters, frontier depth, and
+// the per-worker check-latency p50/p99 (zero until a worker records its
+// first comparison). The returned stop function renders one final frame
+// and stops the refresher.
+func startTopView(bus *stream.Bus, hubs []*obs.Hub, isSwarm bool, every time.Duration) func() {
+	render := func() int {
+		h := bus.Workers()
+		lines := 0
+		for _, w := range h.Workers {
+			name := "main"
+			if isSwarm || w.Worker > 0 {
+				name = fmt.Sprintf("w%d", w.Worker)
+			}
+			var cmp obs.HistogramSnapshot
+			hi := w.Worker - 1
+			if !isSwarm && w.Worker == 0 {
+				hi = 0
+			}
+			if hi >= 0 && hi < len(hubs) {
+				cmp = hubs[hi].Histogram(obs.MetricCompare).Snapshot()
+			}
+			fmt.Fprintf(os.Stderr,
+				"\x1b[2K%-5s %-8s %-10s ops %-9d unique %-8d revisits %-8d depth %-3d crash %-7d check p50 %-10v p99 %v\n",
+				name, w.Status, w.Health, w.Ops, w.Unique, w.Revisits, w.Depth,
+				w.CrashPoints, cmp.Quantile(0.5), cmp.Quantile(0.99))
+			lines++
+		}
+		return lines
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		prev := 0
+		for {
+			select {
+			case <-stop:
+				if prev > 0 {
+					fmt.Fprintf(os.Stderr, "\x1b[%dA", prev)
+				}
+				render()
+				return
+			case <-ticker.C:
+				if prev > 0 {
+					fmt.Fprintf(os.Stderr, "\x1b[%dA", prev)
+				}
+				prev = render()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stop)
+			<-done
+		})
+	}
 }
 
 func trailOf(b *mcfs.BugReport) string {

@@ -246,6 +246,10 @@ type Figure3Config struct {
 	// (the first worker, in swarm mode) so long runs can report phase
 	// shares and crash-point rates alongside the simulated series.
 	Perf *perf.Profiler
+	// Stream, when non-nil, receives the calibration exploration's live
+	// event feed (every worker, in swarm mode) so long runs can serve
+	// /events and /workers next to /metrics.
+	Stream *Stream
 }
 
 // measureBasePerOp runs a short real exploration to extract the base
@@ -274,6 +278,7 @@ func measureBasePerOp(cfg Figure3Config) (time.Duration, int64, error) {
 		o.Obs = hub
 		o.Journal = jw
 		o.Perf = cfg.Perf
+		o.Stream = cfg.Stream
 		s, err := NewSession(o)
 		if err != nil {
 			return 0, 0, err
@@ -298,7 +303,7 @@ func measureBasePerOp(cfg Figure3Config) (time.Duration, int64, error) {
 			s.Close()
 		}
 	}()
-	sr, err := mc.SwarmRun(mc.SwarmOptions{Workers: workers, ShareVisited: share, Journal: jw},
+	sr, err := mc.SwarmRun(mc.SwarmOptions{Workers: workers, ShareVisited: share, Journal: jw, Stream: cfg.Stream},
 		func(seed int64) (mc.Config, error) {
 			o := calOptions(seed)
 			if seed == 1 {

@@ -228,6 +228,7 @@ func Analyzers() []*Analyzer {
 				"mcfs/internal/obs":         {"Hub", "Counter", "Gauge", "Histogram", "Reporter"},
 				"mcfs/internal/obs/journal": {"Writer", "Recorder"},
 				"mcfs/internal/obs/perf":    {"Profiler"},
+				"mcfs/internal/obs/stream":  {"Bus", "Subscriber"},
 			},
 		}),
 	}

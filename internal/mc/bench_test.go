@@ -73,6 +73,62 @@ func BenchmarkExploreWithPerf(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreNilStream proves the event bus's nil path is free:
+// sessions hold a nil *stream.Bus, so every emit site is one branch.
+// Must stay within noise of BenchmarkExploreNilObs — the stream joins
+// the hub, profiler, and journal under the same nil-safety gate.
+func BenchmarkExploreNilStream(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := mcfs.NewSession(mcfs.Options{
+			Targets:  []mcfs.TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
+			MaxDepth: 2,
+			MaxOps:   300,
+			Stream:   nil,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := s.Run()
+		s.Close()
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if res.Bug != nil {
+			b.Fatalf("unexpected bug: %v", res.Bug)
+		}
+	}
+}
+
+// BenchmarkExploreWithStream measures the live path: an attached bus
+// with one never-drained subscriber (the lossy worst case — every ring
+// slot overwritten), showing what event fan-out adds over seed speed.
+func BenchmarkExploreWithStream(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus := mcfs.NewStream()
+		sub := bus.Subscribe(0)
+		s, err := mcfs.NewSession(mcfs.Options{
+			Targets:  []mcfs.TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
+			MaxDepth: 2,
+			MaxOps:   300,
+			Stream:   bus,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := s.Run()
+		s.Close()
+		sub.Close()
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if res.Bug != nil {
+			b.Fatalf("unexpected bug: %v", res.Bug)
+		}
+	}
+}
+
 // BenchmarkExploreWithJournal measures the flight recorder's hot-path
 // cost with the output discarded, isolating encode+buffer overhead from
 // disk speed. Compare against BenchmarkExploreNilObs.

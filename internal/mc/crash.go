@@ -25,6 +25,7 @@ package mc
 
 import (
 	"fmt"
+	"time"
 
 	"mcfs/internal/abstraction"
 	"mcfs/internal/checker"
@@ -32,6 +33,7 @@ import (
 	"mcfs/internal/fault"
 	"mcfs/internal/obs/journal"
 	"mcfs/internal/obs/perf"
+	"mcfs/internal/obs/stream"
 	"mcfs/internal/workload"
 )
 
@@ -402,7 +404,26 @@ func (e *engine) probePlane(depth int, op workload.Op, p *CrashPlane) error {
 		if e.eobs != nil {
 			e.eobs.crashPoints.Inc()
 		}
-		d := e.judgeCrashPoint(p, op, k, w, img, capRegions, capOK, b0, b1, memo)
+		// Poll phase totals around the judgment so the verdict event can
+		// attribute its cost to the dominant recovery phase.
+		var phasesBefore []time.Duration
+		if e.es != nil {
+			phasesBefore = e.cfg.Perf.PhaseTotals()
+		}
+		d, verdict := e.judgeCrashPoint(p, op, k, w, img, capRegions, capOK, b0, b1, memo)
+		e.heatmap.Record(op.String(), k, w, verdict)
+		if e.es != nil {
+			e.emit(stream.Event{
+				Kind:    stream.KindCrashVerdict,
+				Op:      op.String(),
+				Target:  p.Name,
+				Depth:   depth,
+				Write:   k,
+				Writes:  w,
+				Verdict: verdict,
+				Phase:   perf.DominantDelta(phasesBefore, e.cfg.Perf.PhaseTotals()),
+			})
+		}
 		if d != nil {
 			if err := e.restorePlaneDelta(p, pre, capRegions); err != nil {
 				return fmt.Errorf("rolling back crash probe: %w", err)
@@ -485,20 +506,38 @@ func (v crashVerdict) discrepancy(where string, op workload.Op, p *CrashPlane, b
 	return nil
 }
 
+// label names the verdict for the heatmap and the event stream: bug on
+// any discrepancy; for strict planes (hasState), which acknowledged
+// state recovery landed on; fsck-repaired for a non-strict plane's
+// clean recovery.
+func (v crashVerdict) label(d *checker.Discrepancy, b0 abstraction.State) string {
+	switch {
+	case d != nil:
+		return stream.VerdictBug
+	case v.hasState && v.state == b0:
+		return stream.VerdictB0
+	case v.hasState:
+		return stream.VerdictB1
+	default:
+		return stream.VerdictFsckRepaired
+	}
+}
+
 // judgeCrashPoint power-cycles the plane on one captured crash image
 // (delta-loading only the capture run's write set when the session
-// supports it) and judges the recovered state. Before running the
-// expensive checks it digests the recovered media's divergence from the
-// pre-op image — capRegions plus whatever recovery itself wrote — and
-// reuses the memoized verdict of any earlier point in this probe that
-// recovered to masked-identical media. Callable from ANY media state
-// whose divergence from img is bounded by capRegions plus the touch
-// log (the post-op state, or a previous point's recovered state);
+// supports it) and judges the recovered state, returning the verdict
+// label (Verdict* constants) alongside any discrepancy. Before running
+// the expensive checks it digests the recovered media's divergence from
+// the pre-op image — capRegions plus whatever recovery itself wrote —
+// and reuses the memoized verdict of any earlier point in this probe
+// that recovered to masked-identical media. Callable from ANY media
+// state whose divergence from img is bounded by capRegions plus the
+// touch log (the post-op state, or a previous point's recovered state);
 // returns with media == img-after-recovery. The caller rolls back once
 // after the last point.
 func (e *engine) judgeCrashPoint(p *CrashPlane, op workload.Op, k, w int, img []byte,
 	capRegions []fault.Region, capOK bool, b0, b1 abstraction.State,
-	memo map[[32]byte]crashVerdict) *checker.Discrepancy {
+	memo map[[32]byte]crashVerdict) (*checker.Discrepancy, string) {
 
 	where := fmt.Sprintf("%s: crash after write %d/%d of %s", p.Name, k+1, w, op)
 	mt := e.cfg.Perf.Start(perf.PhaseRemount)
@@ -517,7 +556,7 @@ func (e *engine) judgeCrashPoint(p *CrashPlane, op workload.Op, k, w int, img []
 				where,
 				fmt.Sprintf("recovery failed: %v", err),
 			},
-		}
+		}, stream.VerdictBug
 	}
 	// Fast path: masked digest of everything that diverged from pre —
 	// the crash image's writes plus recovery's own (journal replay).
@@ -534,7 +573,8 @@ func (e *engine) judgeCrashPoint(p *CrashPlane, op workload.Op, k, w int, img []
 		ot.End()
 		if haveDig {
 			if v, hit := memo[dig]; hit {
-				return v.discrepancy(where, op, p, b0, b1)
+				d := v.discrepancy(where, op, p, b0, b1)
+				return d, v.label(d, b0)
 			}
 		}
 	}
@@ -553,7 +593,8 @@ func (e *engine) judgeCrashPoint(p *CrashPlane, op workload.Op, k, w int, img []
 	if haveDig {
 		memo[dig] = v
 	}
-	return v.discrepancy(where, op, p, b0, b1)
+	d := v.discrepancy(where, op, p, b0, b1)
+	return d, v.label(d, b0)
 }
 
 // countCrashExec charges one probed execution against the op budget —
@@ -566,6 +607,7 @@ func (e *engine) countCrashExec() {
 	}
 	e.cfg.Perf.Observe(e.executed, e.unique, e.revisits,
 		e.crashStats.PointsExplored, len(e.trail))
+	e.maybeBeat()
 }
 
 // restorePlaneDelta rolls the plane's device image back to img,

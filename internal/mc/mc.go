@@ -33,6 +33,7 @@ import (
 	"mcfs/internal/obs"
 	"mcfs/internal/obs/journal"
 	"mcfs/internal/obs/perf"
+	"mcfs/internal/obs/stream"
 	"mcfs/internal/simclock"
 	"mcfs/internal/tracker"
 	"mcfs/internal/workload"
@@ -110,6 +111,14 @@ type Config struct {
 	// loss is simulated with the captured media image, and the recovered
 	// state is checked against the prefix-consistency oracle (crash.go).
 	Crash *CrashConfig
+	// Stream, when set, receives live exploration events (steps,
+	// backtracks, crash verdicts, worker lifecycle, bugs) stamped with
+	// the session's virtual time. Nil-safe: a nil bus costs one branch
+	// per emit site and nothing else.
+	Stream *stream.Bus
+	// StreamWorker identifies this engine on the stream (0 for a single
+	// engine; SwarmRun assigns 1..N).
+	StreamWorker int
 }
 
 // BugReport is a discrepancy plus the trail that produced it.
@@ -167,6 +176,9 @@ type Result struct {
 	// Crash counts crash-exploration work (zero unless Config.Crash was
 	// set): probes, points tested, recoveries verified, faults injected.
 	Crash CrashStats
+	// CrashHeatmap aggregates this run's crash-point verdicts by
+	// (window op, write index). Nil unless Config.Crash was set.
+	CrashHeatmap *stream.Heatmap
 }
 
 // Coverage aggregates operation and outcome counts for one run.
@@ -296,6 +308,12 @@ type engine struct {
 
 	eobs *engineObs // nil when Config.Obs is unset
 
+	es *engineStream // nil when Config.Stream is unset
+
+	// heatmap aggregates crash-point verdicts; non-nil exactly when
+	// Config.Crash is set (the heatmap needs no bus).
+	heatmap *stream.Heatmap
+
 	// lastErrnos is the per-target errno scratch of the most recent
 	// step, populated only when a journal recorder is attached.
 	lastErrnos []string
@@ -328,6 +346,45 @@ type engineObs struct {
 	// the tracer ring has recycled those spans.
 	lastStep    []obs.Span
 	trailTraces [][]obs.Span
+}
+
+// engineStream holds the engine's pre-resolved stream handles: the bus,
+// this engine's worker id, and the session clock the events are stamped
+// from. Virtual timestamps keep the stream bit-deterministic and the
+// walltime analyzer clean.
+type engineStream struct {
+	bus    *stream.Bus
+	worker int
+	now    func() time.Duration
+}
+
+// emit publishes one event stamped with this engine's identity and
+// virtual time. One branch when streaming is off.
+func (e *engine) emit(ev stream.Event) {
+	if e.es == nil {
+		return
+	}
+	ev.At = e.es.now()
+	ev.Worker = e.es.worker
+	e.es.bus.Publish(ev)
+}
+
+// maybeBeat publishes a worker heartbeat every stream.HeartbeatEvery
+// executed operations. Riding the op counter (not a wall timer) keeps
+// heartbeats deterministic in virtual time — and makes a hung target
+// read as stale, since a stuck probe stops the counter.
+func (e *engine) maybeBeat() {
+	if e.es == nil || e.executed%stream.HeartbeatEvery != 0 {
+		return
+	}
+	e.emit(stream.Event{
+		Kind:        stream.KindWorkerHeartbeat,
+		Ops:         e.executed,
+		Unique:      e.unique,
+		Revisits:    e.revisits,
+		CrashPoints: e.crashStats.PointsExplored,
+		Depth:       len(e.trail),
+	})
 }
 
 // beginOp opens the per-operation collection window and LayerMC span.
@@ -386,8 +443,16 @@ func Run(cfg Config) Result {
 			crashRecoveries: cfg.Obs.Counter(obs.MetricCrashRecoveries),
 		}
 	}
+	if cfg.Stream != nil {
+		e.es = &engineStream{bus: cfg.Stream, worker: cfg.StreamWorker, now: clock.Now}
+		e.emit(stream.Event{
+			Kind:   stream.KindWorkerStart,
+			Detail: fmt.Sprintf("seed=%d", cfg.Seed),
+		})
+	}
 	if cfg.Crash != nil {
 		e.crashSeen = make(map[string]bool)
+		e.heatmap = stream.NewHeatmap()
 	}
 	if cfg.SharedVisited != nil {
 		// Shared-table mode: resumed knowledge seeds the swarm-wide
@@ -470,7 +535,26 @@ func Run(cfg Config) Result {
 			res.Crash.TornInjected += st.TornInjected
 			res.Crash.CorruptInjected += st.CorruptInjected
 		}
+		res.CrashHeatmap = e.heatmap
 	}
+	status := "done"
+	switch {
+	case e.bug != nil:
+		status = "bug"
+	case err != nil:
+		status = "failed"
+	case e.canceled:
+		status = "canceled"
+	}
+	e.emit(stream.Event{
+		Kind:        stream.KindWorkerDrain,
+		Ops:         e.executed,
+		Unique:      e.unique,
+		Revisits:    e.revisits,
+		CrashPoints: e.crashStats.PointsExplored,
+		Depth:       len(e.trail),
+		Detail:      status,
+	})
 	if cfg.Journal.Enabled() {
 		done := journal.DoneRecord{
 			Ops:          e.executed,
@@ -531,6 +615,11 @@ func (e *engine) explore() (err error) {
 			if e.eobs != nil {
 				e.eobs.panics.Inc()
 			}
+			e.emit(stream.Event{
+				Kind:   stream.KindWorkerPanic,
+				Depth:  len(trail),
+				Detail: fmt.Sprintf("%v", r),
+			})
 			e.cfg.Cancel.Cancel("target panicked")
 		}
 	}()
@@ -748,6 +837,15 @@ func (e *engine) dfs(depth int) error {
 					fmt.Sprintf("%x", h[:]), novel, expand)
 				jt.End()
 			}
+			if e.es != nil { // guard: the hex render below is not free
+				e.emit(stream.Event{
+					Kind:  stream.KindStep,
+					Op:    op.String(),
+					Depth: depth,
+					State: fmt.Sprintf("%x", h[:]),
+					Novel: novel,
+				})
+			}
 			if !expand {
 				e.revisits++
 				if e.eobs != nil {
@@ -800,6 +898,7 @@ func (e *engine) dfs(depth int) error {
 			e.cfg.Journal.Backtrack(depth)
 			jt.End()
 		}
+		e.emit(stream.Event{Kind: stream.KindBacktrack, Depth: depth})
 		if e.bug != nil || e.exhausted || e.canceled {
 			return nil
 		}
@@ -839,6 +938,7 @@ func (e *engine) step(op workload.Op) error {
 	}
 	e.cfg.Perf.Observe(e.executed, e.unique, e.revisits,
 		e.crashStats.PointsExplored, len(e.trail))
+	e.maybeBeat()
 	opName := op.Kind.String()
 	e.coverage.ByOp[opName]++
 	pairs := e.coverage.ByOpErrno[opName]
@@ -891,6 +991,12 @@ func (e *engine) report(d *checker.Discrepancy, op workload.Op) {
 	copy(trail, e.trail)
 	trail = append(trail, op)
 	e.bug = &BugReport{Discrepancy: d, Trail: trail, OpsExecuted: e.executed}
+	e.emit(stream.Event{
+		Kind:   stream.KindBug,
+		Op:     op.String(),
+		Depth:  len(trail),
+		Detail: d.Kind,
+	})
 	// Fire the shared token right away so coordinated swarm peers stop
 	// within one operation instead of waiting for this run to unwind.
 	e.cfg.Cancel.Cancel("bug found")

@@ -33,6 +33,7 @@ import (
 	"mcfs/internal/obs"
 	"mcfs/internal/obs/journal"
 	"mcfs/internal/obs/perf"
+	"mcfs/internal/obs/stream"
 )
 
 // Cancel is a lightweight cancellation token shared by swarm workers.
@@ -254,6 +255,11 @@ type SwarmOptions struct {
 	// Config already carries one. The writer interleaves workers'
 	// records; journal.WorkerRecords de-multiplexes them.
 	Journal *journal.Writer
+	// Stream, when set, is installed into every worker Config (worker
+	// ids 1..Workers, unless the factory already set one): all workers
+	// publish their exploration events and heartbeats to this one bus,
+	// and SwarmResult.WorkerHealth snapshots its liveness view.
+	Stream *stream.Bus
 }
 
 // SwarmResult is the merged outcome of a coordinated swarm.
@@ -287,6 +293,12 @@ type SwarmResult struct {
 	// Crash merges the per-worker crash-exploration statistics; zero
 	// when no worker ran with crash exploration enabled.
 	Crash CrashStats
+	// CrashHeatmap merges the per-worker crash-verdict heatmaps; nil
+	// when no worker ran with crash exploration enabled.
+	CrashHeatmap *stream.Heatmap
+	// WorkerHealth is the stream bus's final worker-liveness view; zero
+	// value unless SwarmOptions.Stream was set.
+	WorkerHealth stream.Health
 	// Metrics merges the per-worker observability hub snapshots
 	// (obs.Merge); zero-valued when no worker Config carried a hub.
 	Metrics obs.Snapshot
@@ -358,6 +370,17 @@ func SwarmRun(opts SwarmOptions, factory func(seed int64) (Config, error)) (Swar
 			defer func() { <-sem }()
 			if cancel.Canceled() {
 				results[w] = Result{Canceled: true}
+				// Never ran, so Run's own drain event never fires; report
+				// the worker on the health view anyway — /workers should
+				// list every swarm slot, including ones a fast first bug
+				// canceled before they started.
+				if opts.Stream != nil {
+					opts.Stream.Publish(stream.Event{
+						Kind:   stream.KindWorkerDrain,
+						Worker: w + 1,
+						Detail: "canceled",
+					})
+				}
 				return
 			}
 			cfg, err := factory(int64(w + 1))
@@ -380,6 +403,10 @@ func SwarmRun(opts SwarmOptions, factory func(seed int64) (Config, error)) (Swar
 			}
 			if cfg.Journal == nil && opts.Journal != nil {
 				cfg.Journal = opts.Journal.Recorder(w + 1)
+			}
+			if cfg.Stream == nil && opts.Stream != nil {
+				cfg.Stream = opts.Stream
+				cfg.StreamWorker = w + 1
 			}
 			hubs[w] = cfg.Obs
 			profilers[w] = cfg.Perf
@@ -409,6 +436,9 @@ func SwarmRun(opts SwarmOptions, factory func(seed int64) (Config, error)) (Swar
 	wg.Wait()
 
 	sr := mergeSwarm(opts, results, shared)
+	if opts.Stream != nil {
+		sr.WorkerHealth = opts.Stream.Workers()
+	}
 	sr.BugWorker = bugWorker
 	if bugWorker >= 0 {
 		sr.Bug = results[bugWorker].Bug
@@ -449,6 +479,20 @@ func runWorker(cfg Config) (res Result) {
 			if cfg.Obs != nil {
 				cfg.Obs.Counter(obs.MetricPanics).Inc()
 			}
+			// A panic outside explore() never reaches Run's drain emit, so
+			// report the worker's death on the stream here. The kernel may
+			// itself be the panic's casualty — fall back to timestamp zero.
+			if cfg.Stream != nil {
+				ev := stream.Event{
+					Kind:   stream.KindWorkerPanic,
+					Worker: cfg.StreamWorker,
+					Detail: fmt.Sprintf("%v", r),
+				}
+				if cfg.Kernel != nil {
+					ev.At = cfg.Kernel.Clock().Now()
+				}
+				cfg.Stream.Publish(ev)
+			}
 			cfg.Cancel.Cancel("worker panicked")
 			res.Err = perr
 		}
@@ -471,6 +515,12 @@ func mergeSwarm(opts SwarmOptions, results []Result, shared *SharedVisited) Swar
 			sr.Elapsed = r.Elapsed
 		}
 		sr.Crash.Merge(r.Crash)
+		if r.CrashHeatmap != nil {
+			if sr.CrashHeatmap == nil {
+				sr.CrashHeatmap = stream.NewHeatmap()
+			}
+			sr.CrashHeatmap.Merge(r.CrashHeatmap)
+		}
 	}
 	if shared != nil {
 		sr.Resume = shared.Export()

@@ -19,13 +19,22 @@ type MetricsServer struct {
 	srv *http.Server
 }
 
+// Route is an extra (pattern, handler) pair mounted on a metrics mux —
+// how the CLIs attach the live /events and /workers stream views
+// without obs importing the stream package.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // MetricsMux builds the handler a MetricsServer serves: snap()'s value
 // as indented JSON at /metrics (any JSON-marshalable document — a plain
 // Snapshot, or a wrapper adding sections like the CLI's perf block)
-// plus the standard pprof handlers under /debug/pprof/. Exposed so
-// callers embedding the routes in their own server (and tests driving
-// them through httptest) share one route table with ServeMetrics.
-func MetricsMux(snap func() any) *http.ServeMux {
+// plus the standard pprof handlers under /debug/pprof/ and any extra
+// routes. Exposed so callers embedding the routes in their own server
+// (and tests driving them through httptest) share one route table with
+// ServeMetrics.
+func MetricsMux(snap func() any, extra ...Route) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -38,19 +47,22 @@ func MetricsMux(snap func() any) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, r := range extra {
+		mux.Handle(r.Pattern, r.Handler)
+	}
 	return mux
 }
 
 // ServeMetrics binds addr and serves snap() at /metrics plus pprof at
-// /debug/pprof/ until Close. An addr of ":0" picks a free port; read
-// the result's Addr for the bound address. The snapshot document is any
-// JSON-marshalable value (MetricsMux).
-func ServeMetrics(addr string, snap func() any) (*MetricsServer, error) {
+// /debug/pprof/ (and any extra routes) until Close. An addr of ":0"
+// picks a free port; read the result's Addr for the bound address. The
+// snapshot document is any JSON-marshalable value (MetricsMux).
+func ServeMetrics(addr string, snap func() any, extra ...Route) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: MetricsMux(snap), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: MetricsMux(snap, extra...), ReadHeaderTimeout: 5 * time.Second}
 	m := &MetricsServer{Addr: ln.Addr().String(), ln: ln, srv: srv}
 	go func() { _ = srv.Serve(ln) }()
 	return m, nil

@@ -151,6 +151,16 @@ func (h *Histogram) Count() int64 {
 	return h.count.Load()
 }
 
+// Sum returns the total recorded duration (zero on nil). Unlike
+// Snapshot, it is a single atomic load — cheap enough to poll per
+// crash point for phase attribution.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
 // Snapshot captures the histogram's current state. Bucket order is
 // ascending by bound, so the snapshot is deterministic.
 func (h *Histogram) Snapshot() HistogramSnapshot {
@@ -208,9 +218,11 @@ func (s HistogramSnapshot) Mean() time.Duration {
 // linearly inside that bucket's [lower, upper) bound range. The result
 // is clamped to the observed Min/Max, which makes the estimate exact
 // for single-bucket distributions and keeps p99 from overshooting the
-// largest sample ever recorded. Zero when the histogram is empty.
+// largest sample ever recorded. Zero when the histogram is empty or q
+// is NaN — live views (mcfs top) render p50/p99 on freshly started
+// workers, so the empty case must never panic or propagate NaN.
 func (s HistogramSnapshot) Quantile(q float64) time.Duration {
-	if s.Count == 0 {
+	if s.Count == 0 || q != q {
 		return 0
 	}
 	if q < 0 {

@@ -59,6 +59,10 @@ const (
 	MetricCrashPoints = "mc.crash.points"
 	// MetricCrashRecoveries counts crash recoveries that verified clean.
 	MetricCrashRecoveries = "mc.crash.recoveries"
+	// MetricStreamDropped counts exploration-stream events lost to full
+	// subscriber rings (the bus never blocks the engine; slow consumers
+	// drop instead).
+	MetricStreamDropped = "obs.stream.dropped"
 )
 
 // Span layers used by the instrumented components, outermost first:

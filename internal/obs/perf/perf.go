@@ -179,6 +179,40 @@ func (t Timer) End() {
 	t.hist.Observe(t.p.Now() - t.start)
 }
 
+// PhaseTotals returns each phase's cumulative attributed time in
+// Phases() order — a cheap (one atomic load per phase, no allocation
+// beyond the slice) poll for per-crash-point phase attribution. Nil on
+// a nil profiler.
+func (p *Profiler) PhaseTotals() []time.Duration {
+	if p == nil {
+		return nil
+	}
+	names := Phases()
+	out := make([]time.Duration, len(names))
+	for i, name := range names {
+		out[i] = p.phases[name].Sum()
+	}
+	return out
+}
+
+// DominantDelta names the phase that accumulated the most time between
+// two PhaseTotals polls ("" when nothing advanced, or when either poll
+// is missing — e.g. from a nil profiler). Ties break toward the
+// earlier canonical phase, keeping the attribution deterministic.
+func DominantDelta(before, after []time.Duration) string {
+	names := Phases()
+	if len(before) != len(names) || len(after) != len(names) {
+		return ""
+	}
+	best, bestDelta := "", time.Duration(0)
+	for i, name := range names {
+		if d := after[i] - before[i]; d > bestDelta {
+			best, bestDelta = name, d
+		}
+	}
+	return best
+}
+
 // Sample is one state-space telemetry point: the engine's cumulative
 // counters at a sampled operation count, stamped with virtual time.
 // Rates (novelty decay, duplicate rate, crash points/sec) are derived

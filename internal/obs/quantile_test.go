@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestQuantileEmptyHistogramIsZero(t *testing.T) {
+	// Live views (mcfs top) render p50/p99 on workers that have not
+	// compared a state yet; the empty snapshot must yield 0, never NaN
+	// arithmetic or a panic.
+	empty := newHistogram().Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if got := empty.Quantile(math.NaN()); got != 0 {
+		t.Errorf("empty Quantile(NaN) = %v, want 0", got)
+	}
+}
+
+func TestQuantileNaNAndClamping(t *testing.T) {
+	h := newHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	snap := h.Snapshot()
+	if got := snap.Quantile(math.NaN()); got != 0 {
+		t.Errorf("Quantile(NaN) = %v, want 0", got)
+	}
+	if got := snap.Quantile(-1); got != snap.Quantile(0) {
+		t.Errorf("Quantile(-1) = %v, want the q=0 estimate %v", got, snap.Quantile(0))
+	}
+	if got := snap.Quantile(2); got != snap.Quantile(1) {
+		t.Errorf("Quantile(2) = %v, want the q=1 estimate %v", got, snap.Quantile(1))
+	}
+	if p50 := snap.Quantile(0.5); p50 < snap.Min || p50 > snap.Max {
+		t.Errorf("p50 = %v outside observed [%v, %v]", p50, snap.Min, snap.Max)
+	}
+	if p99 := snap.Quantile(0.99); p99 > snap.Max {
+		t.Errorf("p99 = %v overshoots max %v", p99, snap.Max)
+	}
+	if snap.Quantile(0.99) < snap.Quantile(0.5) {
+		t.Error("p99 < p50: quantile estimates not monotone")
+	}
+}

@@ -59,6 +59,7 @@ import (
 	"mcfs/internal/obs"
 	"mcfs/internal/obs/journal"
 	"mcfs/internal/obs/perf"
+	"mcfs/internal/obs/stream"
 	"mcfs/internal/simclock"
 	"mcfs/internal/tracker"
 	"mcfs/internal/vfs"
@@ -101,10 +102,25 @@ type (
 	// CrashSpec pins a crash bug to (target, write index); carried by
 	// BugReport.Crash and bug-repro bundles.
 	CrashSpec = journal.CrashSpec
+	// Stream is the live exploration event bus (stream.New); sessions
+	// and swarms publish steps, crash verdicts, heartbeats, and bugs to
+	// it in deterministic virtual time.
+	Stream = stream.Bus
+	// CrashHeatmap aggregates crash-point verdicts by (op, write index);
+	// carried by Result.CrashHeatmap and SwarmResult.CrashHeatmap.
+	CrashHeatmap = stream.Heatmap
+	// WorkerHealth is the stream bus's per-worker liveness view.
+	WorkerHealth = stream.Health
 )
 
 // NewCancel returns a fresh cancellation token for aborting a swarm.
 func NewCancel() *Cancel { return mc.NewCancel() }
+
+// NewStream returns a live exploration event bus ready for
+// Options.Stream or SwarmOptions.Stream. Subscribers are lossy ring
+// buffers: a slow consumer drops its own events, never blocking the
+// engine.
+func NewStream() *Stream { return stream.New(stream.Options{}) }
 
 // Operation kinds, re-exported for building custom pools.
 const (
@@ -237,6 +253,14 @@ type Options struct {
 	// CrashPointsPerOp caps sampled crash points per probed operation
 	// (mc.DefaultCrashPointsPerOp when 0).
 	CrashPointsPerOp int
+	// Stream attaches a live exploration event bus: the engine publishes
+	// steps, backtracks, crash verdicts, worker heartbeats, and bugs to
+	// it, stamped with the session's virtual clock. Nil disables
+	// streaming at one branch per emit site.
+	Stream *Stream
+	// StreamWorker identifies this session on the stream (0 for a single
+	// session; SwarmRun assigns 1..Workers itself).
+	StreamWorker int
 	// FsckWorkers bounds the worker pool of the parallel post-recovery
 	// fsck on ext targets (0 = GOMAXPROCS, capped internally). Any value
 	// produces identical problem reports; this knob only trades CPU for
@@ -343,6 +367,8 @@ func NewSession(opts Options) (*Session, error) {
 		Obs:               opts.Obs,
 		Journal:           opts.Journal.Recorder(0),
 		Perf:              opts.Perf,
+		Stream:            opts.Stream,
+		StreamWorker:      opts.StreamWorker,
 	}
 	if opts.CrashExploration {
 		if len(s.crashPlanes) == 0 {
@@ -796,6 +822,11 @@ type SwarmOptions struct {
 	// shared writer (worker ids 1..Workers); records interleave and
 	// carry the worker id for post-hoc de-multiplexing.
 	Journal *journal.Writer
+	// Stream gives every worker this one live event bus (worker ids
+	// 1..Workers): all workers' steps, crash verdicts, and heartbeats
+	// interleave on it, and SwarmResult.WorkerHealth snapshots its
+	// liveness view at the end.
+	Stream *Stream
 }
 
 // SwarmRun runs a coordinated swarm (Spin's swarm verification, §2,
@@ -821,6 +852,7 @@ func SwarmRun(swarm SwarmOptions, factory func(seed int64) (Options, error)) (Sw
 		Resume:       swarm.Resume,
 		Cancel:       swarm.Cancel,
 		Journal:      swarm.Journal,
+		Stream:       swarm.Stream,
 	}, func(seed int64) (mc.Config, error) {
 		opts, err := factory(seed)
 		if err != nil {

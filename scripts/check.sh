@@ -5,8 +5,9 @@
 #   1. go build ./...                               (everything compiles)
 #   2. go test ./...                                (tier-1 test suite)
 #   3. go vet ./...                                 (static checks)
-#   4. go test -race internal/mc + internal/obs     (swarm + hub under
-#                                                    the race detector)
+#   4. go test -race internal/mc + internal/obs     (swarm + hub + event
+#         (includes internal/obs/stream)             stream under the
+#                                                    race detector)
 #   5. bench smoke: every benchmark runs once       (catches bit-rotted
 #                                                    benchmarks; includes
 #                                                    the nil-obs and
@@ -21,8 +22,10 @@
 #                                                    the race detector)
 #   8. crash-exploration smoke: the seeded ext4     (fault injection end
 #      journal-ordering bug is found only under      to end: crash points
-#      -crash, its bundle replays and shrinks, and   -> oracle -> bundle
-#      the same run without -crash stays clean       -> replay -> shrink)
+#      -crash, its bundle replays and shrinks, the   -> oracle -> verdict
+#      -crash-heatmap artifact pinpoints it with a   heatmap -> bundle ->
+#      "bug" cell, and the same run without -crash   replay -> shrink)
+#      stays clean
 #   9. mcfslint ./...                                (domain static
 #                                                    analysis: checkpoint
 #                                                    leaks, map-order
@@ -48,7 +51,7 @@ go test ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> go test -race ./internal/mc/... ./internal/obs/..."
+echo "==> go test -race ./internal/mc/... ./internal/obs/... (incl. internal/obs/stream)"
 go test -race ./internal/mc/... ./internal/obs/...
 
 echo "==> bench smoke (one iteration per benchmark)"
@@ -74,12 +77,18 @@ rc=0
 echo "==> go test -race ./internal/fault/... ./internal/fs/extfs/..."
 go test -race ./internal/fault/... ./internal/fs/extfs/...
 
-echo "==> crash-exploration smoke (-crash -> bundle -> replay -> shrink)"
+echo "==> crash-exploration smoke (-crash -> heatmap -> bundle -> replay -> shrink)"
 crashbundle="$work/crashbundle"
+heatmap="$work/heatmap.json"
 rc=0
 "$work/mcfs" -fs ext2 -fs ext4 -bug journal-commit-first -crash \
-	-depth 1 -max-ops 5000 -bundle "$crashbundle" >/dev/null || rc=$?
+	-depth 1 -max-ops 5000 -crash-heatmap "$heatmap" \
+	-bundle "$crashbundle" >/dev/null || rc=$?
 [ "$rc" -eq 3 ] || { echo "FAIL: seeded crash-bug run exited $rc, want 3 (bug found)"; exit 1; }
+# Zero counts are omitted from heatmap cells, so a literal "bug" key
+# appears exactly when some crash point was judged a bug.
+grep -q '"bug"' "$heatmap" || {
+	echo "FAIL: crash heatmap has no bug cell for the seeded journal bug"; exit 1; }
 "$work/mcfs" replay "$crashbundle" >/dev/null || {
 	echo "FAIL: crash bundle did not reproduce deterministically"; exit 1; }
 "$work/mcfs" shrink "$crashbundle" >/dev/null || {
