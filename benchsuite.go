@@ -9,6 +9,7 @@ import (
 
 	"mcfs/internal/bench"
 	"mcfs/internal/mc"
+	"mcfs/internal/mc/visited"
 	"mcfs/internal/memmodel"
 	"mcfs/internal/obs/journal"
 	"mcfs/internal/obs/perf"
@@ -40,6 +41,8 @@ func RunBenchReport(budget int64) (bench.Report, error) {
 		{"swarm-shared-visited", benchSwarmShared},
 		{"crash-ext2-ext4", benchCrashExplore},
 		{"journal-replay", benchJournalReplay},
+		{"states-per-mb-exact", benchStatesPerMBExact},
+		{"states-per-mb-bitstate", benchStatesPerMBBitstate},
 	} {
 		row, err := sc.run(budget)
 		if err != nil {
@@ -237,6 +240,58 @@ func benchJournalReplay(budget int64) (bench.Scenario, error) {
 	if elapsed := replay.Clock().Now(); elapsed > 0 {
 		row.ReplayOpsPerSec = round1(float64(rep.Steps) / elapsed.Seconds())
 	}
+	return row, nil
+}
+
+// The states-per-MB pair measures the memory-efficiency claim behind
+// the reduced-fidelity visited backends: the same exploration against
+// the same visited-table byte budget, once with the exact backend
+// (capacity = budget / entry size, then the search is cut off) and
+// once with the bitstate backend (the whole budget is one Bloom array).
+// Both run at a FIXED internal operation budget, independent of the
+// suite budget, so the smoke run and the committed run measure the
+// same exploration and the comparison gate sees zero drift.
+const (
+	// benchStatesPerMBTableBytes is the visited-table byte budget.
+	benchStatesPerMBTableBytes = 1 << 10
+	// benchStatesPerMBOps is the fixed internal operation budget.
+	benchStatesPerMBOps = 4000
+)
+
+// statesPerMB converts a unique-state count under the fixed table
+// budget to the committed states-per-MB rate.
+func statesPerMB(unique int64) float64 {
+	return round1(float64(unique) * float64(1<<20) / float64(benchStatesPerMBTableBytes))
+}
+
+func benchStatesPerMBExact(int64) (bench.Scenario, error) {
+	row, s, res, err := benchRun(Options{
+		Targets:   []TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
+		MaxDepth:  6,
+		MaxStates: benchStatesPerMBTableBytes / visited.ExactEntryBytes,
+	}, benchStatesPerMBOps)
+	if err != nil {
+		return row, err
+	}
+	s.Close()
+	row.StatesPerMB = statesPerMB(res.UniqueStates)
+	return row, nil
+}
+
+func benchStatesPerMBBitstate(int64) (bench.Scenario, error) {
+	row, s, res, err := benchRun(Options{
+		Targets:       []TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
+		MaxDepth:      6,
+		Visited:       VisitedBitstate,
+		BitstateBytes: benchStatesPerMBTableBytes,
+	}, benchStatesPerMBOps)
+	if err != nil {
+		return row, err
+	}
+	s.Close()
+	row.StatesPerMB = statesPerMB(res.UniqueStates)
+	row.Fidelity = res.Fidelity.String()
+	row.OmissionProb = res.OmissionProb
 	return row, nil
 }
 

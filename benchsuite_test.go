@@ -21,6 +21,7 @@ func TestBenchReportSuite(t *testing.T) {
 	want := []string{
 		"explore-ext2-ext4", "explore-ext4-jffs2", "swarm-shared-visited",
 		"crash-ext2-ext4", "journal-replay",
+		"states-per-mb-exact", "states-per-mb-bitstate",
 	}
 	if len(report.Scenarios) != len(want) {
 		t.Fatalf("scenarios = %d, want %d", len(report.Scenarios), len(want))
@@ -58,6 +59,26 @@ func TestBenchReportSuite(t *testing.T) {
 	// only appears when its timer fired).
 	if _, ok := replay.PhaseShares[perf.PhaseJournal]; !ok {
 		t.Error("journal scenario recorded no journal phase")
+	}
+	// The states-per-MB pair pins the reduced-fidelity capacity claim:
+	// same table byte budget, bitstate holds an order of magnitude more
+	// states, and its row is honest about the fidelity it ran at.
+	exact, _ := report.Scenario("states-per-mb-exact")
+	bits, _ := report.Scenario("states-per-mb-bitstate")
+	if exact.StatesPerMB <= 0 || bits.StatesPerMB <= 0 {
+		t.Fatalf("states-per-mb rates missing: exact %v, bitstate %v",
+			exact.StatesPerMB, bits.StatesPerMB)
+	}
+	if bits.StatesPerMB < 10*exact.StatesPerMB {
+		t.Errorf("bitstate states/MB = %v, want >= 10x exact (%v)",
+			bits.StatesPerMB, exact.StatesPerMB)
+	}
+	if exact.Fidelity != "" {
+		t.Errorf("exact scenario fidelity = %q, want omitted", exact.Fidelity)
+	}
+	if bits.Fidelity != "bitstate" || bits.OmissionProb <= 0 {
+		t.Errorf("bitstate scenario fidelity = %q omission = %v, want bitstate with estimate",
+			bits.Fidelity, bits.OmissionProb)
 	}
 
 	// The emitted document must round-trip and self-compare clean —

@@ -52,6 +52,9 @@ type BundleConfig struct {
 	DisableEqualizeFreeSpace bool         `json:"disable_equalize_free_space,omitempty"`
 	CrashExploration         bool         `json:"crash_exploration,omitempty"`
 	CrashPointsPerOp         int          `json:"crash_points_per_op,omitempty"`
+	Visited                  string       `json:"visited,omitempty"`
+	BitstateBytes            int64        `json:"bitstate_bytes,omitempty"`
+	MemBudget                int64        `json:"mem_budget,omitempty"`
 }
 
 // Options reconstructs session options for replaying the bundle.
@@ -66,6 +69,9 @@ func (c BundleConfig) Options() Options {
 		DisableEqualizeFreeSpace: c.DisableEqualizeFreeSpace,
 		CrashExploration:         c.CrashExploration,
 		CrashPointsPerOp:         c.CrashPointsPerOp,
+		Visited:                  c.Visited,
+		BitstateBytes:            c.BitstateBytes,
+		MemBudget:                c.MemBudget,
 	}
 }
 
@@ -83,14 +89,13 @@ type Bundle struct {
 	MinTrail []Op
 }
 
-// WriteBundle dumps a bug-repro bundle for res (which must carry a
-// bug) into dir, creating it. journalSrc, when non-empty, is a journal
-// file to copy in; metrics, when non-nil, is the run's instrument
-// snapshot.
+// WriteBundle dumps a bug-repro bundle for res into dir, creating it.
+// journalSrc, when non-empty, is a journal file to copy in; metrics,
+// when non-nil, is the run's instrument snapshot. A result without a
+// bug — a run that died on the memory model, say — still gets a
+// partial bundle (config, journal, metrics, coverage; no bug.json) so
+// the evidence of the aborted run survives.
 func WriteBundle(dir string, opts Options, res Result, journalSrc string, metrics *obs.Snapshot) error {
-	if res.Bug == nil {
-		return fmt.Errorf("mcfs: bundle: result carries no bug")
-	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("mcfs: bundle: %w", err)
 	}
@@ -104,20 +109,25 @@ func WriteBundle(dir string, opts Options, res Result, journalSrc string, metric
 		DisableEqualizeFreeSpace: opts.DisableEqualizeFreeSpace,
 		CrashExploration:         opts.CrashExploration,
 		CrashPointsPerOp:         opts.CrashPointsPerOp,
+		Visited:                  opts.Visited,
+		BitstateBytes:            opts.BitstateBytes,
+		MemBudget:                opts.MemBudget,
 	}
 	if err := writeJSON(filepath.Join(dir, BundleConfigFile), cfg); err != nil {
 		return err
 	}
-	bug := journal.BugRecord{
-		Kind:        res.Bug.Discrepancy.Kind,
-		Op:          res.Bug.Discrepancy.Op,
-		Details:     res.Bug.Discrepancy.Details,
-		Trail:       journal.EncodeTrail(res.Bug.Trail),
-		OpsExecuted: res.Bug.OpsExecuted,
-		Crash:       res.Bug.Crash,
-	}
-	if err := writeJSON(filepath.Join(dir, BundleBugFile), bug); err != nil {
-		return err
+	if res.Bug != nil {
+		bug := journal.BugRecord{
+			Kind:        res.Bug.Discrepancy.Kind,
+			Op:          res.Bug.Discrepancy.Op,
+			Details:     res.Bug.Discrepancy.Details,
+			Trail:       journal.EncodeTrail(res.Bug.Trail),
+			OpsExecuted: res.Bug.OpsExecuted,
+			Crash:       res.Bug.Crash,
+		}
+		if err := writeJSON(filepath.Join(dir, BundleBugFile), bug); err != nil {
+			return err
+		}
 	}
 	if len(res.Coverage.ByOp) > 0 {
 		if err := writeJSON(filepath.Join(dir, BundleCoverageFile), res.Coverage); err != nil {

@@ -147,9 +147,19 @@ func TestBundleEndToEnd(t *testing.T) {
 	}
 }
 
-func TestWriteBundleRequiresBug(t *testing.T) {
-	if err := mcfs.WriteBundle(t.TempDir(), mcfs.Options{}, mcfs.Result{}, "", nil); err == nil {
-		t.Fatal("bundling a bug-free result succeeded")
+// TestWriteBundleWithoutBug: a bug-free result — a run that died on the
+// memory model, say — still gets a partial bundle (config and journal
+// survive for diagnosis), just without bug.json.
+func TestWriteBundleWithoutBug(t *testing.T) {
+	dir := t.TempDir()
+	if err := mcfs.WriteBundle(dir, mcfs.Options{}, mcfs.Result{}, "", nil); err != nil {
+		t.Fatalf("bundling a bug-free result failed: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bug.json")); !os.IsNotExist(err) {
+		t.Fatalf("bug-free bundle wrote bug.json (stat err = %v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "config.json")); err != nil {
+		t.Fatalf("bug-free bundle missing config.json: %v", err)
 	}
 }
 

@@ -4,7 +4,9 @@
 // Usage:
 //
 //	longrun [-days N] [-samples-per-day N] [-calibration-workers N]
-//	        [-share-visited] [-crash] [-progress] [-metrics-addr :8080]
+//	        [-share-visited] [-visited exact|compact|bitstate]
+//	        [-mem-budget 64M] [-bitstate-bytes 8M]
+//	        [-crash] [-progress] [-metrics-addr :8080]
 //	        [-journal file]
 //
 // A short real exploration calibrates the per-operation cost; with
@@ -28,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"mcfs"
 	"mcfs/internal/obs"
@@ -41,16 +44,32 @@ func main() {
 	samplesPerDay := flag.Int("samples-per-day", 4, "output samples per day")
 	calWorkers := flag.Int("calibration-workers", 1, "calibrate per-op cost with a swarm of N diversified workers")
 	shareVisited := flag.Bool("share-visited", false, "calibration swarm workers share one visited-state table")
+	visitedMode := flag.String("visited", "", "calibration visited-table backend: exact (default), compact, or bitstate")
+	memBudgetStr := flag.String("mem-budget", "", "calibration memory budget with K/M/G suffix (arms the degradation governor)")
+	bitstateStr := flag.String("bitstate-bytes", "", "bitstate Bloom array size with K/M/G suffix")
 	crash := flag.Bool("crash", false, "calibrate with crash-consistency checking (ext pair) and report the crash hot path")
 	progress := flag.Bool("progress", false, "stream every simulated point to stderr as it is computed")
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics at this address (/metrics); \":0\" picks a port")
 	journalPath := flag.String("journal", "", "flight-record the calibration exploration to this JSONL file")
 	flag.Parse()
 
+	memBudget, err := parseSize(*memBudgetStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "longrun: -mem-budget: %v\n", err)
+		os.Exit(2)
+	}
+	bitstateBytes, err := parseSize(*bitstateStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "longrun: -bitstate-bytes: %v\n", err)
+		os.Exit(2)
+	}
 	cfg := mcfs.Figure3Config{
 		Days:               *days,
 		CalibrationWorkers: *calWorkers,
 		ShareVisited:       *shareVisited,
+		Visited:            *visitedMode,
+		BitstateBytes:      bitstateBytes,
+		MemBudget:          memBudget,
 		Crash:              *crash,
 	}
 	var prof *perf.Profiler
@@ -146,6 +165,28 @@ func main() {
 		fmt.Println("\ncalibration phase profile:")
 		snap.WriteTable(os.Stdout)
 	}
+}
+
+// parseSize parses a byte count with an optional K/M/G suffix ("64M").
+// Empty means zero (use the default).
+func parseSize(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 65536, 64K, 8M, 1G)", s)
+	}
+	return n * mult, nil
 }
 
 // crashPointsPerSec derives the calibration run's overall crash-point

@@ -8,6 +8,8 @@
 //	     [-bug name] [-backing ram|ssd|hdd] [-no-remount]
 //	     [-crash] [-crash-points K]
 //	     [-swarm N] [-share-visited] [-parallelism P]
+//	     [-visited exact|compact|bitstate] [-mem-budget 64M]
+//	     [-bitstate-bytes 8M]
 //	     [-progress 1s] [-stall-ops N] [-metrics-addr :8080]
 //	     [-trace-dump] [-coverage] [-journal file] [-bundle dir]
 //	     [-events file] [-top 1s] [-crash-heatmap file]
@@ -46,6 +48,17 @@
 // (rows = ops, cols = write index, cells = b0/b1/fsck-repaired/bug) and
 // prints its text grid.
 //
+// Bounded memory: -visited selects the visited-table backend — exact
+// (default), compact (64-bit hash compaction, Spin -DHC), or bitstate
+// (fixed-RAM Bloom filter, Spin -DBITSTATE; sized by -bitstate-bytes).
+// -mem-budget arms the memory governor: the modeled footprint is
+// watched against the budget (K/M/G suffixes), and instead of dying
+// out of memory the table degrades — deep exact entries are evicted at
+// the soft watermark, then the backend migrates exact→compact→bitstate
+// at the hard watermark. The run reports its final fidelity and the
+// estimated omission probability; reduced-fidelity runs cannot export
+// resume state.
+//
 // Flight recorder: -journal records every nondeterministic engine choice
 // to a crash-safe JSONL file; -bundle dumps a bug-repro bundle directory
 // (config, bug + trail, journal, metrics, coverage) whenever the run
@@ -78,6 +91,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -136,6 +150,9 @@ func run() int {
 	swarm := flag.Int("swarm", 0, "run N diversified workers in parallel (0 = single engine)")
 	shareVisited := flag.Bool("share-visited", false, "swarm workers share one visited-state table (prune peer-explored states)")
 	parallelism := flag.Int("parallelism", 0, "max swarm workers running at once (0 = min(N, GOMAXPROCS))")
+	visitedMode := flag.String("visited", "", "visited-table backend: exact (default), compact, or bitstate")
+	memBudgetStr := flag.String("mem-budget", "", "memory budget with K/M/G suffix (e.g. 64M); arms the degradation governor")
+	bitstateStr := flag.String("bitstate-bytes", "", "bitstate Bloom array size with K/M/G suffix (default: budget/4 or 8M)")
 	majority := flag.Bool("majority", false, "with 3+ targets, identify the deviating minority (majority voting)")
 	progress := flag.Duration("progress", 0, "print a status line per engine at this wall-clock interval (0 = off)")
 	stallOps := flag.Int64("stall-ops", 0, "warn when this many ops pass without a novel state (needs -progress)")
@@ -153,6 +170,16 @@ func run() int {
 	if len(fsKinds) < 2 {
 		fmt.Fprintln(os.Stderr, "mcfs: need at least two -fs targets")
 		flag.Usage()
+		return 2
+	}
+	memBudget, err := parseSize(*memBudgetStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcfs: -mem-budget: %v\n", err)
+		return 2
+	}
+	bitstateBytes, err := parseSize(*bitstateStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcfs: -bitstate-bytes: %v\n", err)
 		return 2
 	}
 
@@ -215,6 +242,9 @@ func run() int {
 			FsckWorkers:      *fsckWorkers,
 			Obs:              hub,
 			Perf:             prof,
+			Visited:          *visitedMode,
+			BitstateBytes:    bitstateBytes,
+			MemBudget:        memBudget,
 		}
 	}
 
@@ -352,16 +382,19 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "mcfs: %v\n", err)
 			return
 		}
-		fmt.Fprintf(os.Stderr, "bug-repro bundle written to %s\n", *bundleDir)
+		fmt.Fprintf(os.Stderr, "repro bundle written to %s\n", *bundleDir)
 	}
 
 	if *swarm > 0 {
 		sr, err := mcfs.SwarmRun(mcfs.SwarmOptions{
-			Workers:      *swarm,
-			Parallelism:  *parallelism,
-			ShareVisited: *shareVisited,
-			Journal:      jw,
-			Stream:       bus,
+			Workers:       *swarm,
+			Parallelism:   *parallelism,
+			ShareVisited:  *shareVisited,
+			Visited:       *visitedMode,
+			BitstateBytes: bitstateBytes,
+			MemBudget:     memBudget,
+			Journal:       jw,
+			Stream:        bus,
 		}, func(seed int64) (mcfs.Options, error) {
 			var hub *obs.Hub
 			if obsOn {
@@ -391,6 +424,7 @@ func run() int {
 		fmt.Printf("unique states:        %d distinct (%d summed, %d duplicated across workers)\n",
 			sr.GlobalUniqueStates, sr.UniqueStates, sr.DuplicateStates)
 		fmt.Printf("revisited states:     %d\n", sr.Revisits)
+		printFidelity(sr.Fidelity, sr.OmissionProb, sr.ResumeErr)
 		printCrashStats(sr.Crash)
 		if sr.Err != nil {
 			fmt.Fprintf(os.Stderr, "engine error (worker %d): %v\n", sr.ErrWorker+1, sr.Err)
@@ -416,6 +450,13 @@ func run() int {
 			return 3
 		}
 		if sr.Err != nil {
+			if *bundleDir != "" && sr.ErrWorker >= 0 {
+				// A run that died (out of memory, say) still leaves its
+				// evidence: config, journal, metrics — just no bug.json.
+				opts := buildOptions(nil, nil)
+				opts.Seed = int64(sr.ErrWorker + 1)
+				writeBundle(opts, sr.Workers[sr.ErrWorker])
+			}
 			return 1
 		}
 		return 0
@@ -456,9 +497,34 @@ func run() int {
 		return 3
 	}
 	if res.Err != nil {
+		if *bundleDir != "" {
+			writeBundle(opts, res)
+		}
 		return 1
 	}
 	return 0
+}
+
+// parseSize parses a byte count with an optional K/M/G suffix ("64M").
+// Empty means zero (use the default).
+func parseSize(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 65536, 64K, 8M, 1G)", s)
+	}
+	return n * mult, nil
 }
 
 // runReplay implements "mcfs replay <bundle-dir>": re-execute the
@@ -569,17 +635,21 @@ func runShrink(args []string) int {
 
 func printResult(res mcfs.Result, traceDump bool) {
 	if res.Err != nil {
+		// A structured failure (out of memory, say) still reports the
+		// work done up to the abort — the counters below are real.
 		fmt.Fprintf(os.Stderr, "engine error: %v\n", res.Err)
-		return
 	}
 	fmt.Printf("operations executed:  %d\n", res.Ops)
 	fmt.Printf("unique states:        %d\n", res.UniqueStates)
 	fmt.Printf("revisited states:     %d\n", res.Revisits)
 	fmt.Printf("virtual elapsed:      %v\n", res.Elapsed)
 	fmt.Printf("model-checking speed: %.1f ops/s\n", res.Rate)
+	printFidelity(res.Fidelity, res.OmissionProb, res.ResumeErr)
 	printCrashStats(res.Crash)
 	if res.Bug == nil {
-		fmt.Println("no discrepancies found")
+		if res.Err == nil {
+			fmt.Println("no discrepancies found")
+		}
 		return
 	}
 	fmt.Printf("\nDISCREPANCY after %d operations:\n%v\n", res.Bug.OpsExecuted, res.Bug.Discrepancy)
@@ -607,6 +677,19 @@ func printPerf(snap perf.Snapshot, table, dump bool) {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(snap)
+	}
+}
+
+// printFidelity reports a degraded visited table honestly: the final
+// backend, the estimated omission probability, and the resume-export
+// refusal when the backend cannot snapshot itself. Silent at exact
+// fidelity (the default, omission zero).
+func printFidelity(f mcfs.Fidelity, omission float64, resumeErr error) {
+	if f != mcfs.FidelityExact {
+		fmt.Printf("visited fidelity:     %s (omission probability ≈ %.3g)\n", f, omission)
+	}
+	if resumeErr != nil {
+		fmt.Printf("resume export:        refused: %v\n", resumeErr)
 	}
 }
 

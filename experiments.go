@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mcfs/internal/mc"
+	"mcfs/internal/mc/visited"
 	"mcfs/internal/memmodel"
 	"mcfs/internal/obs"
 	"mcfs/internal/obs/journal"
@@ -250,6 +251,16 @@ type Figure3Config struct {
 	// event feed (every worker, in swarm mode) so long runs can serve
 	// /events and /workers next to /metrics.
 	Stream *Stream
+	// Visited selects the calibration run's visited-table backend
+	// ("exact", "compact", "bitstate" — see Options.Visited); the
+	// multi-day simulation itself is analytic and unaffected.
+	Visited string
+	// BitstateBytes sizes the bitstate Bloom array (see
+	// Options.BitstateBytes).
+	BitstateBytes int64
+	// MemBudget arms the calibration run's memory governor (see
+	// Options.MemBudget).
+	MemBudget int64
 }
 
 // measureBasePerOp runs a short real exploration to extract the base
@@ -262,10 +273,13 @@ func measureBasePerOp(cfg Figure3Config) (time.Duration, int64, error) {
 	workers, share := cfg.CalibrationWorkers, cfg.ShareVisited
 	calOptions := func(seed int64) Options {
 		o := Options{
-			Targets:  []TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
-			MaxDepth: 4,
-			MaxOps:   400,
-			Seed:     seed,
+			Targets:       []TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
+			MaxDepth:      4,
+			MaxOps:        400,
+			Seed:          seed,
+			Visited:       cfg.Visited,
+			BitstateBytes: cfg.BitstateBytes,
+			MemBudget:     cfg.MemBudget,
 		}
 		if cfg.Crash {
 			o.Targets = []TargetSpec{{Kind: "ext2"}, {Kind: "ext4"}}
@@ -303,9 +317,32 @@ func measureBasePerOp(cfg Figure3Config) (time.Duration, int64, error) {
 			s.Close()
 		}
 	}()
-	sr, err := mc.SwarmRun(mc.SwarmOptions{Workers: workers, ShareVisited: share, Journal: jw, Stream: cfg.Stream},
+	// A reduced backend or an armed budget means one swarm-wide governed
+	// table (sharing implied), mirroring the facade's SwarmRun wiring.
+	var sharedTbl *mc.SharedVisited
+	kind := visited.Kind(cfg.Visited)
+	if kind == "" {
+		kind = visited.KindExact
+	}
+	if kind != visited.KindExact || cfg.MemBudget > 0 {
+		tbl, err := visited.NewTable(kind, cfg.BitstateBytes)
+		if err != nil {
+			return 0, 0, err
+		}
+		sharedTbl = mc.NewSharedVisitedTable(tbl)
+		if cfg.MemBudget > 0 {
+			bb := cfg.BitstateBytes
+			if bb <= 0 {
+				bb = cfg.MemBudget / 4
+			}
+			sharedTbl.Govern(visited.GovernorConfig{BitstateBytes: bb})
+		}
+	}
+	sr, err := mc.SwarmRun(mc.SwarmOptions{Workers: workers, ShareVisited: share, Shared: sharedTbl,
+		Journal: jw, Stream: cfg.Stream},
 		func(seed int64) (mc.Config, error) {
 			o := calOptions(seed)
+			o.swarmShared = sharedTbl != nil
 			if seed == 1 {
 				// The hub and profiler rebase onto one session's virtual
 				// clock, so only the first worker carries them.

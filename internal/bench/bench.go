@@ -58,6 +58,16 @@ type Scenario struct {
 	ReplayOpsPerSec float64 `json:"replay_ops_per_sec,omitempty"`
 	// PeakMemBytes is the memory model's footprint high-water mark.
 	PeakMemBytes int64 `json:"peak_mem_bytes,omitempty"`
+	// StatesPerMB is unique states recorded per MB of visited-table
+	// budget (states-per-mb scenarios only) — the memory-efficiency
+	// claim behind the reduced-fidelity backends.
+	StatesPerMB float64 `json:"states_per_mb,omitempty"`
+	// Fidelity is the visited table's final matching precision
+	// ("compact", "bitstate"; omitted at exact fidelity).
+	Fidelity string `json:"fidelity,omitempty"`
+	// OmissionProb is the estimated state-omission probability at the
+	// final fidelity (zero at exact).
+	OmissionProb float64 `json:"omission_prob,omitempty"`
 	// PhaseShares is each engine phase's fraction of attributed time.
 	PhaseShares map[string]float64 `json:"phase_shares,omitempty"`
 }
@@ -151,6 +161,10 @@ func Compare(old, cur Report, tol float64) ([]Delta, error) {
 		if os.ReplayOpsPerSec > 0 {
 			deltas = append(deltas,
 				rateDelta(os.Name, "replay_ops_per_sec", os.ReplayOpsPerSec, ns.ReplayOpsPerSec, tol))
+		}
+		if os.StatesPerMB > 0 {
+			deltas = append(deltas,
+				rateDelta(os.Name, "states_per_mb", os.StatesPerMB, ns.StatesPerMB, tol))
 		}
 		if os.PeakMemBytes > 0 {
 			d := Delta{

@@ -229,6 +229,9 @@ func Analyzers() []*Analyzer {
 				"mcfs/internal/obs/journal": {"Writer", "Recorder"},
 				"mcfs/internal/obs/perf":    {"Profiler"},
 				"mcfs/internal/obs/stream":  {"Bus", "Subscriber"},
+				// The engine calls the governor unconditionally on its
+				// visit hot path; a nil governor must stay inert.
+				"mcfs/internal/mc/visited": {"Governor"},
 			},
 		}),
 	}

@@ -156,3 +156,39 @@ func BenchmarkExploreWithJournal(b *testing.B) {
 		}
 	}
 }
+
+// benchExploreVisited runs one bounded exploration per iteration with
+// the given visited-table backend. BenchmarkExploreExact vs
+// BenchmarkExploreBitstate is the hot-path cost of reduced-fidelity
+// matching: the bitstate table trades the map lookup (and the exact
+// path's depth bookkeeping) for k hash probes into a bit array.
+func benchExploreVisited(b *testing.B, backend string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := mcfs.NewSession(mcfs.Options{
+			Targets:  []mcfs.TargetSpec{{Kind: "verifs1"}, {Kind: "verifs2"}},
+			MaxDepth: 2,
+			MaxOps:   300,
+			Visited:  backend,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := s.Run()
+		s.Close()
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if res.Bug != nil {
+			b.Fatalf("unexpected bug: %v", res.Bug)
+		}
+	}
+}
+
+func BenchmarkExploreExact(b *testing.B) {
+	benchExploreVisited(b, mcfs.VisitedExact)
+}
+
+func BenchmarkExploreBitstate(b *testing.B) {
+	benchExploreVisited(b, mcfs.VisitedBitstate)
+}

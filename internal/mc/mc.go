@@ -29,6 +29,7 @@ import (
 
 	"mcfs/internal/checker"
 	"mcfs/internal/kernel"
+	"mcfs/internal/mc/visited"
 	"mcfs/internal/memmodel"
 	"mcfs/internal/obs"
 	"mcfs/internal/obs/journal"
@@ -179,7 +180,41 @@ type Result struct {
 	// CrashHeatmap aggregates this run's crash-point verdicts by
 	// (window op, write index). Nil unless Config.Crash was set.
 	CrashHeatmap *stream.Heatmap
+	// Fidelity is the visited table's matching precision at the end of
+	// the run: exact unless a memory governor degraded the table
+	// (compact or bitstate) to keep the run alive under its budget.
+	Fidelity visited.Fidelity
+	// OmissionProb is the estimated probability that the run wrongly
+	// matched at least one state pair and omitted part of the space —
+	// Spin's bitstate/compaction honesty number. Zero at exact
+	// fidelity.
+	OmissionProb float64
+	// ResumeErr explains a missing Resume: a reduced-fidelity table
+	// refuses export (visited.ErrNoExport) rather than emitting a
+	// silently partial resume set.
+	ResumeErr error
 }
+
+// OOMError finalizes a run whose memory model exhausted RAM and swap
+// with no governor able to relieve it. Unlike a bare
+// memmodel.ErrOutOfMemory, it reaches the caller inside a structured
+// Result: the journal's done record, the final stream event, and any
+// bundle are all still emitted, and the partial counters survive.
+type OOMError struct {
+	// Ops and UniqueStates describe the partial run at the point the
+	// store refused.
+	Ops          int64
+	UniqueStates int64
+}
+
+// Error implements error.
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("mc: out of memory after %d ops / %d unique states (state store exhausted RAM and swap; set a budget with a visited-set governor to degrade instead)",
+		e.Ops, e.UniqueStates)
+}
+
+// Unwrap lets errors.Is find the underlying memmodel condition.
+func (e *OOMError) Unwrap() error { return memmodel.ErrOutOfMemory{} }
 
 // Coverage aggregates operation and outcome counts for one run.
 type Coverage struct {
@@ -304,7 +339,14 @@ type engine struct {
 	coverage  Coverage
 	exhausted bool // op/state budget hit
 	canceled  bool // cancellation token fired
+	oomed     bool // memory model refused a store, no relief possible
 	rng       uint64
+
+	// retained is the concrete-state bytes stored for visited-state
+	// matching in shared exact mode — released in one step when the
+	// governor downgrades the table (reduced backends retain no
+	// concrete states; that release is the degradation's memory win).
+	retained int64
 
 	eobs *engineObs // nil when Config.Obs is unset
 
@@ -518,6 +560,13 @@ func Run(cfg Config) Result {
 	}
 
 	err := e.explore()
+	if err == nil && e.oomed {
+		// The memory model refused a store and no governor could
+		// relieve it. Finalize as a structured failure — counters,
+		// journal done record, drain event, and resume knowledge all
+		// survive — instead of silently truncating the run.
+		err = &OOMError{Ops: e.executed, UniqueStates: e.unique}
+	}
 
 	res.Ops = e.executed
 	res.UniqueStates = e.unique
@@ -525,6 +574,10 @@ func Run(cfg Config) Result {
 	res.Bug = e.bug
 	res.Err = err
 	res.Canceled = e.canceled
+	if cfg.SharedVisited != nil {
+		res.Fidelity = cfg.SharedVisited.Fidelity()
+		res.OmissionProb = cfg.SharedVisited.Omission()
+	}
 	res.finalize(clock.Now() - start)
 	res.Coverage = e.coverage
 	if cfg.Crash != nil {
@@ -661,7 +714,7 @@ func (e *engine) shuffled(depth int) []int {
 }
 
 func (e *engine) budgetLeft() bool {
-	if e.bug != nil {
+	if e.bug != nil || e.oomed {
 		return false
 	}
 	if e.cfg.Cancel.Canceled() {
@@ -690,9 +743,41 @@ func (e *engine) stateBytes() int64 {
 func (e *engine) storeStateCost() {
 	if e.cfg.Mem != nil {
 		if err := e.cfg.Mem.Store(e.stateBytes()); err != nil {
-			// Out of memory+swap: treated as exhaustion, not failure.
-			e.exhausted = true
+			// Out of memory+swap on a checkpoint store. The governor can
+			// relieve it by degrading the visited table; otherwise the
+			// run finalizes as a structured OOM failure (the charge
+			// stands — backtrack's Release pairs with it either way).
+			if !e.relieveMem() {
+				e.oomed = true
+			}
 		}
+	}
+}
+
+// relieveMem asks the shared table's governor for emergency relief
+// after a refused store: one fidelity downgrade, plus the release of
+// every concrete state retained for exact matching. Reports whether
+// anything was freed (the caller's next store should succeed).
+func (e *engine) relieveMem() bool {
+	sv := e.cfg.SharedVisited
+	if sv == nil {
+		return false
+	}
+	if !sv.Governor().Relieve(e.cfg.Mem) {
+		return false
+	}
+	e.releaseRetained()
+	return true
+}
+
+// releaseRetained drops the concrete states retained for exact
+// visited-state matching — reduced-fidelity tables match on
+// fingerprints or bits and restore nothing, so the retention pool goes
+// with the downgrade.
+func (e *engine) releaseRetained() {
+	if e.retained > 0 {
+		e.cfg.Mem.Release(e.retained)
+		e.retained = 0
 	}
 }
 
@@ -713,12 +798,33 @@ func (e *engine) visitCost() {
 	if e.cfg.Mem == nil {
 		return
 	}
-	if e.cfg.SharedVisited == nil {
+	sv := e.cfg.SharedVisited
+	if sv == nil {
 		e.cfg.Mem.InsertVisited()
+		if err := e.cfg.Mem.Store(e.stateBytes()); err != nil {
+			e.oomed = true
+		}
+		return
 	}
-	if err := e.cfg.Mem.Store(e.stateBytes()); err != nil {
-		e.exhausted = true
+	// Give the governor a look before committing more memory; it may
+	// evict or downgrade preemptively at the watermarks.
+	sv.Governor().Maybe(e.cfg.Mem)
+	if sv.Fidelity() != visited.FidelityExact {
+		// Reduced fidelity retains no concrete states — the table keeps
+		// fingerprints or bits only. Releasing the exact-era pool here
+		// (once, lazily) is the downgrade's memory payoff.
+		e.releaseRetained()
+		return
 	}
+	n := e.stateBytes()
+	if err := e.cfg.Mem.Store(n); err != nil {
+		e.retained += n // the refused store still charged its bytes
+		if !e.relieveMem() {
+			e.oomed = true
+		}
+		return
+	}
+	e.retained += n
 }
 
 // discardCheckpoints releases the checkpoint images held under key by
@@ -899,7 +1005,7 @@ func (e *engine) dfs(depth int) error {
 			jt.End()
 		}
 		e.emit(stream.Event{Kind: stream.KindBacktrack, Depth: depth})
-		if e.bug != nil || e.exhausted || e.canceled {
+		if e.bug != nil || e.exhausted || e.canceled || e.oomed {
 			return nil
 		}
 	}

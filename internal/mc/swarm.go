@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"mcfs/internal/abstraction"
+	"mcfs/internal/mc/visited"
 	"mcfs/internal/memmodel"
 	"mcfs/internal/obs"
 	"mcfs/internal/obs/journal"
@@ -76,44 +77,25 @@ func (c *Cancel) Reason() string {
 	return c.reason
 }
 
-// visitedShards is the stripe count of a SharedVisited table. Abstract
-// states are MD5 hashes, so the first byte spreads uniformly; 64 stripes
-// keep lock contention negligible next to the cost of one explored
-// operation (checkpoints + syscalls + checks).
-const visitedShards = 64
-
-type visitedShard struct {
-	mu sync.Mutex
-	m  map[abstraction.State]int // state -> shallowest depth expanded at
-}
-
-// SharedVisited is a visited-state table shared by swarm workers: a
-// sharded map with striped mutexes, keyed on abstract state hashes and
-// storing the shallowest depth each state has been expanded at (the same
-// depth-bounded re-expansion rule as the engine-local table).
+// SharedVisited is the visited-state table shared by swarm workers (or
+// owned by one governed engine): a visited.Set — a swappable backend
+// table (exact, compact, or bitstate) behind the memory-accounting
+// ledger — plus an optional governor that degrades the backend under
+// memory pressure. The exact backend keeps the historical semantics:
+// a sharded state→depth map with the depth-bounded re-expansion rule.
 type SharedVisited struct {
-	shards [visitedShards]visitedShard
-	novel  atomic.Int64 // states discovered by workers (excludes seeds)
-
-	// memMu guards mems; every new table entry charges
-	// memmodel.SharedVisitedEntryBytes to each attached model, so the
-	// shared table's footprint shows up in MemoryStats (the ROADMAP's
-	// visited-table accounting item).
-	memMu sync.RWMutex
-	mems  []*memmodel.Model
+	set *visited.Set
 }
 
-// NewSharedVisited returns an empty shared table.
+// NewSharedVisited returns an empty shared table on the exact backend.
 func NewSharedVisited() *SharedVisited {
-	v := &SharedVisited{}
-	for i := range v.shards {
-		v.shards[i].m = make(map[abstraction.State]int)
-	}
-	return v
+	return &SharedVisited{set: visited.NewSet(visited.NewExact())}
 }
 
-func (v *SharedVisited) shard(st abstraction.State) *visitedShard {
-	return &v.shards[int(st[0])&(visitedShards-1)]
+// NewSharedVisitedTable returns a shared table over an explicit
+// backend (a reduced-fidelity run from the start).
+func NewSharedVisitedTable(t visited.Table) *SharedVisited {
+	return &SharedVisited{set: visited.NewSet(t)}
 }
 
 // Visit records that a worker reached st at depth and decides what the
@@ -123,51 +105,21 @@ func (v *SharedVisited) shard(st abstraction.State) *visitedShard {
 // missed), and novel reports whether no worker had ever seen st (the
 // caller counts it as a unique discovery exactly once swarm-wide).
 func (v *SharedVisited) Visit(st abstraction.State, depth int) (novel, expand bool) {
-	sh := v.shard(st)
-	sh.mu.Lock()
-	prev, seen := sh.m[st]
-	switch {
-	case !seen:
-		sh.m[st] = depth
-		novel, expand = true, true
-	case prev > depth:
-		sh.m[st] = depth
-		expand = true
-	}
-	sh.mu.Unlock()
-	if novel {
-		v.novel.Add(1)
-		v.chargeEntry()
-	}
-	return novel, expand
+	return v.set.Visit(st, depth)
 }
 
 // AttachMem subscribes a memory model to the table's growth: the
 // current footprint is charged immediately and every later entry adds
-// memmodel.SharedVisitedEntryBytes. Workers sharing one table live in
-// one address space, so each worker's model carries the full table —
+// the backend's per-entry bytes. Workers sharing one table live in one
+// address space, so each worker's model carries the full table —
 // shared-table growth shrinks the RAM left for concrete states in every
-// session's MemoryStats.
+// session's MemoryStats. Across a governor migration the ledger rebills
+// each model by the footprint delta, so accounting stays exact.
 func (v *SharedVisited) AttachMem(m *memmodel.Model) {
 	if v == nil || m == nil {
 		return
 	}
-	v.memMu.Lock()
-	v.mems = append(v.mems, m)
-	v.memMu.Unlock()
-	m.AddSharedVisited(int64(v.Len()) * memmodel.SharedVisitedEntryBytes)
-}
-
-// chargeEntry bills one new table entry to every attached model. Called
-// outside the shard lock; attachment during a running swarm may count a
-// racing insert in both the Len snapshot and the per-entry charge —
-// footprint accounting tolerates that slop.
-func (v *SharedVisited) chargeEntry() {
-	v.memMu.RLock()
-	for _, m := range v.mems {
-		m.AddSharedVisited(memmodel.SharedVisitedEntryBytes)
-	}
-	v.memMu.RUnlock()
+	v.set.AttachMem(m)
 }
 
 // Seed preloads the table from an earlier run's ResumeState. Seeded
@@ -183,52 +135,62 @@ func (v *SharedVisited) Seed(r *ResumeState) {
 		if i < len(r.Depths) {
 			depth = r.Depths[i]
 		}
-		sh := v.shard(st)
-		sh.mu.Lock()
-		prev, seen := sh.m[st]
-		if !seen || prev > depth {
-			sh.m[st] = depth
-		}
-		sh.mu.Unlock()
-		if !seen {
-			// Seeds are prior knowledge, not discoveries — but they
-			// occupy table memory like any entry.
-			v.chargeEntry()
-		}
+		v.set.Seed(st, depth)
 	}
 }
 
 // Len reports the number of states in the table (seeds + discoveries).
-func (v *SharedVisited) Len() int {
-	n := 0
-	for i := range v.shards {
-		sh := &v.shards[i]
-		sh.mu.Lock()
-		n += len(sh.m)
-		sh.mu.Unlock()
-	}
-	return n
-}
+func (v *SharedVisited) Len() int { return int(v.set.Len()) }
+
+// Bytes reports the table's modeled memory footprint.
+func (v *SharedVisited) Bytes() int64 { return v.set.Bytes() }
 
 // NovelCount reports how many states workers discovered (excluding
 // seeded prior knowledge) — the swarm's global unique-state count.
-func (v *SharedVisited) NovelCount() int64 { return v.novel.Load() }
+func (v *SharedVisited) NovelCount() int64 { return v.set.NovelCount() }
+
+// Fidelity reports the table's current matching precision.
+func (v *SharedVisited) Fidelity() visited.Fidelity { return v.set.Fidelity() }
+
+// Omission reports the table's estimated omission probability (zero at
+// exact fidelity).
+func (v *SharedVisited) Omission() float64 { return v.set.Omission() }
+
+// Govern attaches a memory governor to the table and returns it. The
+// caller arms each watched model's budget (memmodel.SetBudget); the
+// engine ticks the governor on its visit path.
+func (v *SharedVisited) Govern(cfg visited.GovernorConfig) *visited.Governor {
+	return visited.NewGovernor(v.set, cfg)
+}
+
+// Governor returns the attached governor — nil (safe to call) when
+// ungoverned or on a nil table.
+func (v *SharedVisited) Governor() *visited.Governor {
+	if v == nil {
+		return nil
+	}
+	return v.set.Governor()
+}
 
 // Export snapshots the table as a ResumeState so a later run (or swarm)
-// can continue where this one left off.
-func (v *SharedVisited) Export() *ResumeState {
-	r := &ResumeState{}
-	for i := range v.shards {
-		sh := &v.shards[i]
-		sh.mu.Lock()
-		for st, depth := range sh.m {
-			r.States = append(r.States, st)
-			r.Depths = append(r.Depths, depth)
-		}
-		sh.mu.Unlock()
+// can continue where this one left off. A reduced-fidelity backend has
+// discarded the full state keys and returns visited.ErrNoExport instead
+// of a silently partial set.
+func (v *SharedVisited) Export() (*ResumeState, error) {
+	entries, err := v.set.Export()
+	if err != nil {
+		return nil, err
+	}
+	r := &ResumeState{
+		States: make([]abstraction.State, 0, len(entries)),
+		Depths: make([]int, 0, len(entries)),
+	}
+	for _, en := range entries {
+		r.States = append(r.States, en.State)
+		r.Depths = append(r.Depths, en.Depth)
 	}
 	r.sortByState()
-	return r
+	return r, nil
 }
 
 // SwarmOptions configures a coordinated swarm run.
@@ -242,6 +204,11 @@ type SwarmOptions struct {
 	// ShareVisited gives all workers one SharedVisited table so they
 	// prune states their peers already expanded.
 	ShareVisited bool
+	// Shared, when set, is the pre-built shared table the swarm uses —
+	// the caller's chance to pick a reduced-fidelity backend or attach
+	// a governed table (ShareVisited is implied). When nil and
+	// ShareVisited is set, the coordinator builds a fresh exact table.
+	Shared *SharedVisited
 	// Resume seeds the swarm with an earlier run's visited knowledge:
 	// the shared table when ShareVisited is set, otherwise each worker's
 	// own table (unless its factory Config already carries a Resume).
@@ -288,8 +255,16 @@ type SwarmResult struct {
 	// Coverage merges every worker's operation/outcome counts.
 	Coverage Coverage
 	// Resume is the swarm's merged visited knowledge (shared-table
-	// export, or the per-worker union), ready to seed a later run.
-	Resume *ResumeState
+	// export, or the per-worker union), ready to seed a later run; nil
+	// with ResumeErr set when the shared table's backend refuses export
+	// (visited.ErrNoExport at reduced fidelity).
+	Resume    *ResumeState
+	ResumeErr error
+	// Fidelity and OmissionProb describe the shared table's final
+	// matching precision and estimated omission probability (exact / 0
+	// without a shared table or when no governor degraded it).
+	Fidelity     visited.Fidelity
+	OmissionProb float64
 	// Crash merges the per-worker crash-exploration statistics; zero
 	// when no worker ran with crash exploration enabled.
 	Crash CrashStats
@@ -344,9 +319,11 @@ func SwarmRun(opts SwarmOptions, factory func(seed int64) (Config, error)) (Swar
 	if cancel == nil {
 		cancel = NewCancel()
 	}
-	var shared *SharedVisited
-	if opts.ShareVisited {
+	shared := opts.Shared
+	if shared == nil && opts.ShareVisited {
 		shared = NewSharedVisited()
+	}
+	if shared != nil {
 		shared.Seed(opts.Resume)
 	}
 
@@ -523,8 +500,10 @@ func mergeSwarm(opts SwarmOptions, results []Result, shared *SharedVisited) Swar
 		}
 	}
 	if shared != nil {
-		sr.Resume = shared.Export()
+		sr.Resume, sr.ResumeErr = shared.Export()
 		sr.GlobalUniqueStates = shared.NovelCount()
+		sr.Fidelity = shared.Fidelity()
+		sr.OmissionProb = shared.Omission()
 	} else {
 		seeded := make(map[abstraction.State]bool)
 		if opts.Resume != nil {

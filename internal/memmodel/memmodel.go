@@ -88,8 +88,44 @@ type Model struct {
 	// grows every attached model, concurrently with that model's owner.
 	sharedVisited atomic.Int64
 
+	// budget and the watermark fractions define the governor's pressure
+	// levels; zero budget means ungoverned (Pressure always None).
+	// aboveSoft/softHits implement upward-crossing detection; owner
+	// fields like the occupancy counters.
+	budget    int64
+	softFrac  float64
+	hardFrac  float64
+	aboveSoft bool
+	softHits  int64
+
+	// visitedEvictions and fidelityDowngrades are governor bookkeeping.
+	// Atomic: the governor acts on behalf of one worker but notes the
+	// action on every attached model.
+	visitedEvictions   atomic.Int64
+	fidelityDowngrades atomic.Int64
+
 	rng uint64
 }
+
+// Pressure is the footprint's position relative to the budget
+// watermarks.
+type Pressure int
+
+const (
+	// PressureNone: below the soft watermark (or no budget set).
+	PressureNone Pressure = iota
+	// PressureSoft: past the soft watermark — start shedding cheap
+	// state.
+	PressureSoft
+	// PressureHard: past the hard watermark — degrade now or die soon.
+	PressureHard
+)
+
+// Default watermark fractions of the budget.
+const (
+	DefaultSoftWatermark = 0.85
+	DefaultHardWatermark = 0.95
+)
 
 // ErrOutOfMemory is reported when both RAM and swap are exhausted.
 type ErrOutOfMemory struct{}
@@ -138,6 +174,88 @@ func (m *Model) ramAvailable() int64 {
 		return 0
 	}
 	return avail
+}
+
+// SetBudget arms the pressure watermarks: soft and hard are fractions
+// of budget (defaults when <= 0). A budget <= 0 disarms them. Safe on
+// a nil model.
+func (m *Model) SetBudget(budget int64, soft, hard float64) {
+	if m == nil {
+		return
+	}
+	if soft <= 0 {
+		soft = DefaultSoftWatermark
+	}
+	if hard <= 0 {
+		hard = DefaultHardWatermark
+	}
+	if hard < soft {
+		hard = soft
+	}
+	m.budget, m.softFrac, m.hardFrac = budget, soft, hard
+}
+
+// Budget reports the armed budget (0 when ungoverned). Safe on a nil
+// model.
+func (m *Model) Budget() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.budget
+}
+
+// Footprint is the current total occupancy: stored concrete states,
+// the local visited table, and any shared swarm table. Owner-goroutine,
+// like the occupancy counters it reads.
+func (m *Model) Footprint() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.storedBytes + m.tableBytes() + m.sharedVisited.Load()
+}
+
+// Pressure classifies the footprint against the budget watermarks and
+// counts upward soft-watermark crossings. Owner-goroutine only (it
+// mutates the crossing detector). Safe on a nil model.
+func (m *Model) Pressure() Pressure {
+	if m == nil || m.budget <= 0 {
+		return PressureNone
+	}
+	fp := m.Footprint()
+	soft := int64(float64(m.budget) * m.softFrac)
+	if fp >= soft {
+		if !m.aboveSoft {
+			m.aboveSoft = true
+			m.softHits++
+		}
+	} else {
+		m.aboveSoft = false
+	}
+	if fp >= int64(float64(m.budget)*m.hardFrac) {
+		return PressureHard
+	}
+	if fp >= soft {
+		return PressureSoft
+	}
+	return PressureNone
+}
+
+// NoteVisitedEvictions records n visited-table entries evicted under
+// pressure. Safe from any goroutine and on a nil model.
+func (m *Model) NoteVisitedEvictions(n int64) {
+	if m == nil {
+		return
+	}
+	m.visitedEvictions.Add(n)
+}
+
+// NoteFidelityDowngrade records one visited-table fidelity migration.
+// Safe from any goroutine and on a nil model.
+func (m *Model) NoteFidelityDowngrade() {
+	if m == nil {
+		return
+	}
+	m.fidelityDowngrades.Add(1)
 }
 
 // AddSharedVisited charges n bytes of shared visited-table growth.
@@ -244,6 +362,15 @@ type Stats struct {
 	// states + visited table + shared table), including transient resize
 	// pressure — the number benchmark trajectories track.
 	PeakBytes int64
+	// VisitedEvictions counts visited-table entries evicted under
+	// memory pressure, and FidelityDowngrades counts visited-table
+	// backend migrations (exact→compact→bitstate) — both zero outside
+	// governed runs.
+	VisitedEvictions   int64
+	FidelityDowngrades int64
+	// SoftWatermarkHits counts upward crossings of the soft budget
+	// watermark (zero without a budget).
+	SoftWatermarkHits int64
 }
 
 // Stats returns a snapshot of the model.
@@ -256,5 +383,8 @@ func (m *Model) Stats() Stats {
 		Resizes:            m.resizes,
 		SharedVisitedBytes: m.sharedVisited.Load(),
 		PeakBytes:          m.peakBytes,
+		VisitedEvictions:   m.visitedEvictions.Load(),
+		FidelityDowngrades: m.fidelityDowngrades.Load(),
+		SoftWatermarkHits:  m.softHits,
 	}
 }

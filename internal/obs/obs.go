@@ -63,6 +63,20 @@ const (
 	// subscriber rings (the bus never blocks the engine; slow consumers
 	// drop instead).
 	MetricStreamDropped = "obs.stream.dropped"
+	// MetricVisitedFidelity is the visited table's current fidelity
+	// level (gauge: 0 exact, 1 compact, 2 bitstate) — nonzero once a
+	// memory governor degraded the table.
+	MetricVisitedFidelity = "mc.visited.fidelity"
+	// MetricVisitedOmissionPPM is the estimated state-omission
+	// probability at the current fidelity, in parts per million
+	// (gauge; gauges are integers).
+	MetricVisitedOmissionPPM = "mc.visited.omission_ppm"
+	// MetricVisitedEvictions counts visited-table entries evicted under
+	// soft memory pressure.
+	MetricVisitedEvictions = "mc.visited.evictions"
+	// MetricFidelityDowngrades counts visited-table backend migrations
+	// (exact→compact→bitstate) the governor performed.
+	MetricFidelityDowngrades = "mc.visited.downgrades"
 )
 
 // Span layers used by the instrumented components, outermost first:

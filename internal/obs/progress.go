@@ -204,6 +204,17 @@ func StatusLine(name string, h *Hub) string {
 	}
 	line := fmt.Sprintf("progress %s: depth=%d states=%d revisits=%d ops=%d %.1f ops/s (virtual %v)",
 		name, depth, states, revisits, ops, rate, elapsed.Round(time.Millisecond))
+	// A degraded visited table is flagged on every line — Spin prints
+	// its hash-factor honesty number the same way. Level 1 is compact,
+	// 2 is bitstate; the omission gauge is parts per million.
+	if fid := h.Gauge(MetricVisitedFidelity).Value(); fid > 0 {
+		mode := "compact"
+		if fid >= 2 {
+			mode = "bitstate"
+		}
+		line += fmt.Sprintf(" fidelity=%s p_omit≈%.2e",
+			mode, float64(h.Gauge(MetricVisitedOmissionPPM).Value())/1e6)
+	}
 	if cmp := h.Histogram(MetricCompare).Snapshot(); cmp.Count > 0 {
 		line += fmt.Sprintf(" check p50=%v p99=%v", cmp.Quantile(0.5), cmp.Quantile(0.99))
 	}

@@ -56,6 +56,11 @@ const (
 	KindWorkerDrain Kind = "worker-drain"
 	// KindBug reports a discrepancy; Detail carries the discrepancy kind.
 	KindBug Kind = "bug"
+	// KindFidelityDegraded reports the memory governor downgrading the
+	// visited table's backend: Detail carries the transition and the
+	// omission estimate at the moment of the switch (e.g.
+	// "exact->compact p≈1.2e-09").
+	KindFidelityDegraded Kind = "fidelity-degraded"
 )
 
 // Crash-point verdicts (Event.Verdict, heatmap cells). A strict plane's

@@ -55,6 +55,7 @@ import (
 	"mcfs/internal/fuse"
 	"mcfs/internal/kernel"
 	"mcfs/internal/mc"
+	"mcfs/internal/mc/visited"
 	"mcfs/internal/memmodel"
 	"mcfs/internal/obs"
 	"mcfs/internal/obs/journal"
@@ -111,6 +112,24 @@ type (
 	CrashHeatmap = stream.Heatmap
 	// WorkerHealth is the stream bus's per-worker liveness view.
 	WorkerHealth = stream.Health
+	// Fidelity is the visited table's matching precision (exact,
+	// compact, or bitstate); carried by Result.Fidelity and
+	// SwarmResult.Fidelity.
+	Fidelity = visited.Fidelity
+)
+
+// Visited-table fidelity levels, re-exported from mc/visited.
+const (
+	FidelityExact    = visited.FidelityExact
+	FidelityCompact  = visited.FidelityCompact
+	FidelityBitstate = visited.FidelityBitstate
+)
+
+// Visited-table backend names for Options.Visited / SwarmOptions.Visited.
+const (
+	VisitedExact    = string(visited.KindExact)
+	VisitedCompact  = string(visited.KindCompact)
+	VisitedBitstate = string(visited.KindBitstate)
 )
 
 // NewCancel returns a fresh cancellation token for aborting a swarm.
@@ -266,6 +285,30 @@ type Options struct {
 	// produces identical problem reports; this knob only trades CPU for
 	// latency.
 	FsckWorkers int
+	// Visited selects the visited-table backend: "exact" (default,
+	// full-fidelity), "compact" (64-bit hash compaction), or "bitstate"
+	// (fixed-RAM Bloom filter). Reduced backends trade a bounded
+	// omission probability (Result.OmissionProb) for orders of
+	// magnitude more states per MB, and cannot export a ResumeState.
+	Visited string
+	// BitstateBytes sizes the bitstate Bloom array
+	// (visited.DefaultBitstateBytes when 0; with a MemBudget, a quarter
+	// of the budget).
+	BitstateBytes int64
+	// MemBudget arms the memory governor: the session's modeled
+	// footprint is watched against this byte budget, and instead of
+	// dying on memmodel.ErrOutOfMemory the visited table degrades —
+	// deep exact entries are evicted at the soft watermark, then the
+	// backend migrates exact→compact→bitstate at the hard watermark.
+	// Result.Fidelity and Result.OmissionProb report the degradation
+	// honestly. When Memory is nil, a budget-sized memory model is
+	// derived automatically.
+	MemBudget int64
+
+	// swarmShared marks the session a swarm worker whose shared table
+	// (and governor) the swarm coordinator provides; the session arms
+	// its memory budget but builds no table of its own.
+	swarmShared bool
 }
 
 // Session is an assembled model-checking run: a simulated kernel with
@@ -279,6 +322,7 @@ type Session struct {
 	cfg      mc.Config
 	mem      *memmodel.Model
 	obsHub   *obs.Hub
+	shared   *mc.SharedVisited // session-owned visited table (nil = engine-local exact map)
 
 	crash       bool // crash exploration requested
 	fsckWorkers int
@@ -350,6 +394,48 @@ func NewSession(opts Options) (*Session, error) {
 	}
 	if opts.Memory != nil {
 		s.mem = memmodel.New(*opts.Memory, clock)
+	} else if opts.MemBudget > 0 {
+		// Budget-derived memory model: RAM sized to the budget, swap left
+		// at the paper's default. The governor defends the RAM budget by
+		// degrading the visited table; the checkpoint images retained for
+		// backtracking are irreducible working set (one per DFS level),
+		// so letting them spill to swap — paying the modeled swap cost —
+		// is the graceful outcome, not death. A hard swap cap belongs to
+		// an explicit Memory config. The initial visited table is small
+		// so tiny budgets are not consumed by empty slots.
+		memCfg := memmodel.DefaultConfig()
+		memCfg.RAMBytes = opts.MemBudget
+		memCfg.InitialSlots = 1 << 10
+		s.mem = memmodel.New(memCfg, clock)
+	}
+	if opts.MemBudget > 0 {
+		s.mem.SetBudget(opts.MemBudget, 0, 0)
+	}
+	kind := visited.Kind(opts.Visited)
+	if kind == "" {
+		kind = visited.KindExact
+	}
+	// A non-default backend or an armed budget needs a session-owned
+	// shared table; swarm workers instead receive the swarm-wide table
+	// from the coordinator (swarmShared).
+	if (kind != visited.KindExact || opts.MemBudget > 0) && !opts.swarmShared {
+		tbl, err := visited.NewTable(kind, opts.BitstateBytes)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.shared = mc.NewSharedVisitedTable(tbl)
+		s.shared.AttachMem(s.mem)
+		if opts.MemBudget > 0 {
+			bb := opts.BitstateBytes
+			if bb <= 0 {
+				bb = opts.MemBudget / 4
+			}
+			s.shared.Govern(visited.GovernorConfig{
+				BitstateBytes: bb,
+				Hooks:         governorHooks([]*obs.Hub{opts.Obs}, opts.Stream, opts.StreamWorker),
+			})
+		}
 	}
 	s.cfg = mc.Config{
 		Kernel:            k,
@@ -369,6 +455,7 @@ func NewSession(opts Options) (*Session, error) {
 		Perf:              opts.Perf,
 		Stream:            opts.Stream,
 		StreamWorker:      opts.StreamWorker,
+		SharedVisited:     s.shared,
 	}
 	if opts.CrashExploration {
 		if len(s.crashPlanes) == 0 {
@@ -728,7 +815,48 @@ func (s *Session) trackerFor(point string, ts TargetSpec, vmGroup **tracker.VMGr
 
 // Run performs the exploration and returns the result. Run may be called
 // once per session; build a fresh session for a fresh run.
-func (s *Session) Run() Result { return mc.Run(s.cfg) }
+func (s *Session) Run() Result {
+	res := mc.Run(s.cfg)
+	if s.shared != nil {
+		// The session-owned table is the authoritative visited set;
+		// export it for resume (reduced-fidelity backends refuse with a
+		// typed error the result carries instead of a snapshot).
+		res.Resume, res.ResumeErr = s.shared.Export()
+	}
+	return res
+}
+
+// governorHooks wires a governor's degradation events into the
+// observability plane: fidelity/omission gauges on every hub, the
+// eviction and downgrade counters on the first non-nil hub only (Merge
+// sums counters across hubs, so billing them everywhere would
+// double-count), and a fidelity-degraded event on the stream bus.
+func governorHooks(hubs []*obs.Hub, bus *Stream, worker int) visited.Hooks {
+	var first *obs.Hub
+	for _, h := range hubs {
+		if h != nil {
+			first = h
+			break
+		}
+	}
+	return visited.Hooks{
+		OnEvict: func(n, depth int) {
+			first.Counter(obs.MetricVisitedEvictions).Add(int64(n))
+		},
+		OnDowngrade: func(from, to Fidelity, omission float64) {
+			for _, h := range hubs {
+				h.Gauge(obs.MetricVisitedFidelity).Set(int64(to))
+				h.Gauge(obs.MetricVisitedOmissionPPM).Set(int64(omission * 1e6))
+			}
+			first.Counter(obs.MetricFidelityDowngrades).Inc()
+			bus.Publish(stream.Event{
+				Kind:   stream.KindFidelityDegraded,
+				Worker: worker,
+				Detail: fmt.Sprintf("%s->%s p≈%.3g", from, to, omission),
+			})
+		},
+	}
+}
 
 // Replay re-executes a trail from the session's current state, returning
 // the first discrepancy (nil when the trail no longer reproduces).
@@ -827,6 +955,19 @@ type SwarmOptions struct {
 	// interleave on it, and SwarmResult.WorkerHealth snapshots its
 	// liveness view at the end.
 	Stream *Stream
+	// Visited selects the swarm-wide visited-table backend ("exact",
+	// "compact", or "bitstate" — see Options.Visited). A non-default
+	// backend implies ShareVisited.
+	Visited string
+	// BitstateBytes sizes the bitstate Bloom array (see
+	// Options.BitstateBytes).
+	BitstateBytes int64
+	// MemBudget arms a memory governor per worker, all watching the
+	// swarm's one shared table (see Options.MemBudget): the first worker
+	// to cross a watermark degrades the table for everyone, and
+	// SwarmResult.Fidelity/OmissionProb report the outcome. Implies
+	// ShareVisited.
+	MemBudget int64
 }
 
 // SwarmRun runs a coordinated swarm (Spin's swarm verification, §2,
@@ -845,10 +986,65 @@ func SwarmRun(swarm SwarmOptions, factory func(seed int64) (Options, error)) (Sw
 			s.Close()
 		}
 	}()
+	kind := visited.Kind(swarm.Visited)
+	if kind == "" {
+		kind = visited.KindExact
+	}
+	var shared *mc.SharedVisited
+	if kind != visited.KindExact || swarm.MemBudget > 0 {
+		tbl, err := visited.NewTable(kind, swarm.BitstateBytes)
+		if err != nil {
+			return SwarmResult{BugWorker: -1, ErrWorker: -1}, err
+		}
+		shared = mc.NewSharedVisitedTable(tbl)
+		if swarm.MemBudget > 0 {
+			bb := swarm.BitstateBytes
+			if bb <= 0 {
+				bb = swarm.MemBudget / 4
+			}
+			// The degradation hooks fan the event out over whichever
+			// worker hubs exist by then — gauges on all (every progress
+			// lane flags the downgrade), counters on one (obs.Merge sums
+			// counters across worker hubs).
+			shared.Govern(visited.GovernorConfig{
+				BitstateBytes: bb,
+				Hooks: visited.Hooks{
+					OnEvict: func(n, _ int) {
+						mu.Lock()
+						defer mu.Unlock()
+						for _, s := range sessions {
+							if s.obsHub != nil {
+								s.obsHub.Counter(obs.MetricVisitedEvictions).Add(int64(n))
+								return
+							}
+						}
+					},
+					OnDowngrade: func(from, to Fidelity, omission float64) {
+						mu.Lock()
+						counted := false
+						for _, s := range sessions {
+							s.obsHub.Gauge(obs.MetricVisitedFidelity).Set(int64(to))
+							s.obsHub.Gauge(obs.MetricVisitedOmissionPPM).Set(int64(omission * 1e6))
+							if s.obsHub != nil && !counted {
+								s.obsHub.Counter(obs.MetricFidelityDowngrades).Inc()
+								counted = true
+							}
+						}
+						mu.Unlock()
+						swarm.Stream.Publish(stream.Event{
+							Kind:   stream.KindFidelityDegraded,
+							Detail: fmt.Sprintf("%s->%s p≈%.3g", from, to, omission),
+						})
+					},
+				},
+			})
+		}
+	}
 	return mc.SwarmRun(mc.SwarmOptions{
 		Workers:      swarm.Workers,
 		Parallelism:  swarm.Parallelism,
 		ShareVisited: swarm.ShareVisited,
+		Shared:       shared,
 		Resume:       swarm.Resume,
 		Cancel:       swarm.Cancel,
 		Journal:      swarm.Journal,
@@ -859,6 +1055,14 @@ func SwarmRun(swarm SwarmOptions, factory func(seed int64) (Options, error)) (Sw
 			return mc.Config{}, err
 		}
 		opts.Seed = seed
+		if shared != nil {
+			// The swarm owns the one shared table; workers arm their own
+			// memory budgets but must not build per-session tables.
+			opts.swarmShared = true
+			if opts.MemBudget == 0 {
+				opts.MemBudget = swarm.MemBudget
+			}
+		}
 		s, err := NewSession(opts)
 		if err != nil {
 			return mc.Config{}, err

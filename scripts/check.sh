@@ -36,6 +36,10 @@
 #      smoke budget, diffed against the committed     tracked, not
 #      BENCH_mc.json at a loose tolerance             asserted; a rate
 #                                                    drop fails the gate)
+#  11. bounded-memory smoke: a run under a tiny      (the memory governor
+#      -mem-budget must complete (exit 0) at          degrades fidelity
+#      reduced visited fidelity instead of dying      instead of dying
+#      out of memory                                  mid-run)
 #
 # Usage: scripts/check.sh   (from the repo root or anywhere inside it)
 set -eu
@@ -113,5 +117,21 @@ go build -o "$work/fsbench" ./cmd/fsbench
 "$work/fsbench" -json -budget 150 -o "$work/bench_smoke.json"
 "$work/fsbench" -compare BENCH_mc.json -with "$work/bench_smoke.json" -tolerance 0.5 || {
 	echo "FAIL: benchmark regression against committed BENCH_mc.json"; exit 1; }
+
+echo "==> bounded-memory smoke (tiny -mem-budget degrades instead of dying)"
+# A 1 MiB budget cannot hold the ext pair's 256 KiB device images at
+# exact fidelity: the governor must downgrade the visited table and the
+# run must still complete cleanly (exit 0), reporting the degraded
+# fidelity and never the out-of-memory failure.
+budgetout="$work/budget.out"
+rc=0
+"$work/mcfs" -fs ext2 -fs ext4 -depth 3 -max-ops 2000 \
+	-mem-budget 1M >"$budgetout" 2>&1 || rc=$?
+[ "$rc" -eq 0 ] || { cat "$budgetout"
+	echo "FAIL: budgeted run exited $rc, want 0 (graceful degradation)"; exit 1; }
+grep -q 'visited fidelity: *\(compact\|bitstate\)' "$budgetout" || { cat "$budgetout"
+	echo "FAIL: budgeted run did not report degraded visited fidelity"; exit 1; }
+if grep -qi 'out of memory' "$budgetout"; then cat "$budgetout"
+	echo "FAIL: budgeted run still hit the OOM path"; exit 1; fi
 
 echo "OK: all checks passed"
