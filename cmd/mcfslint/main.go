@@ -6,21 +6,34 @@
 //	walltime        no time.Now/time.Since/math/rand outside internal/simclock
 //	errnodrop       kernel/vfs/fs error and Errno results are never discarded
 //	nilobs          obs/journal methods keep their documented nil-receiver safety
+//	lockorder       the global lock-acquisition order graph stays acyclic
+//	guardedby       `// guarded by <field>` fields accessed only under that lock
+//	atomicplain     sync/atomic fields are never also accessed plainly
+//	lockbalance     every path leaves the lockset exactly as it entered
 //
 // Usage:
 //
 //	mcfslint [-json] [./...]
 //	mcfslint [-json] dir [dir...]
+//	mcfslint -list
 //
 // With no arguments (or the conventional "./..."), the whole enclosing
 // module is analyzed. Explicit directory arguments restrict *reporting*
 // to packages under those directories; the full module is still loaded so
-// cross-package types resolve.
+// cross-package types resolve. -list prints the registered suite and
+// exits.
+//
+// -json emits an envelope {"analyzers": [...], "findings": [...]} naming
+// every analyzer that ran — CI asserts the full suite is registered —
+// with the findings array in the same shape as before.
 //
 // Findings can be suppressed with a justified comment on the flagged line
 // or the line above it:
 //
 //	//lint:ignore <analyzer> <reason>
+//
+// A justified suppression that suppresses nothing is itself reported
+// (unusedignore), so stale ignores cannot accumulate.
 //
 // Exit status: 0 no findings, 1 findings reported, 2 operational error.
 package main
@@ -36,12 +49,20 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit an {analyzers, findings} JSON envelope")
+	listOnly := flag.Bool("list", false, "print the registered analyzer suite and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mcfslint [-json] [./... | dir...]\n")
+		fmt.Fprintf(os.Stderr, "usage: mcfslint [-json] [./... | dir...]\n       mcfslint -list\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *listOnly {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
@@ -78,7 +99,8 @@ func main() {
 		pkgs = kept
 	}
 
-	diags := lint.Run(pkgs, lint.Analyzers())
+	analyzers := lint.Analyzers()
+	diags := lint.Run(pkgs, analyzers)
 
 	// Report file paths relative to the working directory when possible.
 	for i, d := range diags {
@@ -88,7 +110,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+		if err := lint.WriteReport(os.Stdout, analyzers, diags); err != nil {
 			fatal(err)
 		}
 	} else {
@@ -107,4 +129,12 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mcfslint:", err)
 	os.Exit(2)
+}
+
+// firstLine trims an analyzer doc to its summary sentence for -list.
+func firstLine(doc string) string {
+	if i := strings.IndexByte(doc, '\n'); i >= 0 {
+		doc = doc[:i]
+	}
+	return strings.TrimSpace(doc)
 }

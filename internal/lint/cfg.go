@@ -1,0 +1,410 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the per-function control-flow layer of the flow-sensitive
+// analyzers (lockorder, guardedby, lockbalance): a basic-block CFG built
+// from go/ast alone. Blocks hold the statements and the branch/loop
+// condition expressions that execute on a straight line; edges follow
+// if/else arms, loop back-edges and exits, switch/select clauses
+// (including fallthrough), and labeled break/continue. Returns and the
+// reachable fall-off-the-end brace connect to a single virtual exit
+// block, so path properties ("every exit leaves the lockset as it
+// entered") are questions about edges into cfgExit. A panic() statement
+// terminates its block with no successors: panicking paths run deferred
+// unlocks on the way down, so they are exempt from balance checking by
+// construction.
+//
+// goto is not modeled (the module does not use it). A function
+// containing one gets imprecise=true and the flow-sensitive analyzers
+// skip it rather than report from a wrong CFG.
+
+// cfgBlock is one basic block: nodes execute in order, then control
+// follows one of succs. A block whose last node is a ReturnStmt (or a
+// reachable closing brace) has the cfg's exit among its successors.
+type cfgBlock struct {
+	index int
+	nodes []ast.Node // ast.Stmt and condition/range ast.Expr, in order
+	succs []*cfgBlock
+
+	// exitPos is set on blocks that flow into the virtual exit: the
+	// position balance findings are reported at (the return statement,
+	// or the function's closing brace for fall-off-the-end).
+	exitPos token.Pos
+}
+
+func (b *cfgBlock) addSucc(s *cfgBlock) {
+	for _, cur := range b.succs {
+		if cur == s {
+			return
+		}
+	}
+	b.succs = append(b.succs, s)
+}
+
+// funcCFG is one function body's control-flow graph.
+type funcCFG struct {
+	blocks []*cfgBlock
+	entry  *cfgBlock
+	exit   *cfgBlock // virtual; no nodes, no successors
+	// imprecise marks CFGs the builder could not model faithfully
+	// (goto); flow-sensitive analyzers skip them.
+	imprecise bool
+}
+
+// cfgBuilder threads the current block and the break/continue target
+// stacks through the recursive statement walk.
+type cfgBuilder struct {
+	g   *funcCFG
+	cur *cfgBlock
+
+	// breakTargets / continueTargets are innermost-last stacks of
+	// (label, target) pairs; an empty label entry is the innermost
+	// enclosing loop/switch/select.
+	breakTargets    []branchTarget
+	continueTargets []branchTarget
+}
+
+type branchTarget struct {
+	label string
+	block *cfgBlock
+}
+
+// buildCFG constructs the CFG for one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{}
+	b := &cfgBuilder{g: g}
+	g.entry = b.newBlock()
+	g.exit = b.newBlock()
+	b.cur = g.entry
+	b.stmtList(body.List, "")
+	// Reachable fall-off-the-end: the closing brace is an exit.
+	if b.cur != nil {
+		b.cur.exitPos = body.Rbrace
+		b.cur.addSucc(g.exit)
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// add appends a straight-line node to the current block (starting an
+// unreachable block if control already left, so later statements are
+// still recorded for position-based lookups even when dead).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+// terminate ends the current block with no successor (panic, or after
+// an explicit transfer already linked elsewhere).
+func (b *cfgBuilder) terminate() {
+	b.cur = nil
+}
+
+func (b *cfgBuilder) stmtList(stmts []ast.Stmt, label string) {
+	for i, s := range stmts {
+		// Only the first statement of the list can own the incoming
+		// label (a LabeledStmt wraps exactly one statement anyway).
+		if i > 0 {
+			label = ""
+		}
+		b.stmt(s, label)
+	}
+}
+
+// stmt lowers one statement. label, when non-empty, names this
+// statement (from an enclosing LabeledStmt) for labeled break/continue.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List, "")
+
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		after := b.newBlock()
+
+		b.cur = b.newBlock()
+		condBlk.addSucc(b.cur)
+		b.stmtList(s.Body.List, "")
+		if b.cur != nil {
+			b.cur.addSucc(after)
+		}
+
+		if s.Else != nil {
+			b.cur = b.newBlock()
+			condBlk.addSucc(b.cur)
+			b.stmt(s.Else, "")
+			if b.cur != nil {
+				b.cur.addSucc(after)
+			}
+		} else {
+			condBlk.addSucc(after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		header := b.newBlock()
+		if b.cur != nil {
+			b.cur.addSucc(header)
+		}
+		after := b.newBlock()
+		post := header
+		if s.Post != nil {
+			post = b.newBlock()
+			post.nodes = append(post.nodes, s.Post)
+			post.addSucc(header)
+		}
+		b.cur = header
+		if s.Cond != nil {
+			b.add(s.Cond)
+			header.addSucc(after)
+		}
+		b.pushLoop(label, after, post)
+		body := b.newBlock()
+		header.addSucc(body)
+		b.cur = body
+		b.stmtList(s.Body.List, "")
+		if b.cur != nil {
+			b.cur.addSucc(post)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		// The ranged expression evaluates once, before the loop.
+		b.add(s.X)
+		header := b.newBlock()
+		if b.cur != nil {
+			b.cur.addSucc(header)
+		}
+		after := b.newBlock()
+		header.addSucc(after) // range can be empty
+		b.cur = header
+		if s.Key != nil {
+			b.add(s.Key)
+		}
+		if s.Value != nil {
+			b.add(s.Value)
+		}
+		b.pushLoop(label, after, header)
+		body := b.newBlock()
+		header.addSucc(body)
+		b.cur = body
+		b.stmtList(s.Body.List, "")
+		if b.cur != nil {
+			b.cur.addSucc(header)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(s.Body.List, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(s.Body.List, label, nil)
+
+	case *ast.SelectStmt:
+		b.switchClauses(s.Body.List, label, func(c ast.Stmt) []ast.Stmt {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				return append([]ast.Stmt{cc.Comm}, cc.Body...)
+			}
+			return cc.Body
+		})
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur.exitPos = s.Pos()
+		b.cur.addSucc(b.g.exit)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := findTarget(b.breakTargets, s.Label); t != nil {
+				b.add(s)
+				b.cur.addSucc(t)
+				b.terminate()
+				return
+			}
+		case token.CONTINUE:
+			if t := findTarget(b.continueTargets, s.Label); t != nil {
+				b.add(s)
+				b.cur.addSucc(t)
+				b.terminate()
+				return
+			}
+		case token.FALLTHROUGH:
+			// Handled by switchClauses; a stray one is recorded inert.
+			b.add(s)
+			return
+		case token.GOTO:
+			b.g.imprecise = true
+			b.add(s)
+			b.cur.addSucc(b.g.exit)
+			b.terminate()
+			return
+		}
+		// An unmatched break/continue label: give up on precision.
+		b.g.imprecise = true
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			// Deferred unlocks run during the unwind; no exit edge, so
+			// lockbalance never charges a panicking path.
+			b.terminate()
+		}
+
+	case nil:
+		// nothing
+
+	default:
+		// Assignments, declarations, defer, go, send, incdec, empty:
+		// straight-line.
+		b.add(s)
+	}
+}
+
+// switchClauses lowers switch/type-switch/select clause lists. comm
+// extracts a clause's statement list for select (nil for switch, whose
+// clauses are *ast.CaseClause).
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, label string, comm func(ast.Stmt) []ast.Stmt) {
+	header := b.cur
+	if header == nil {
+		header = b.newBlock()
+		b.cur = header
+	}
+	after := b.newBlock()
+	b.pushSwitch(label, after)
+
+	hasDefault := false
+	// First build every clause's entry block so fallthrough can link
+	// clause i to clause i+1's body.
+	type clauseInfo struct {
+		entry *cfgBlock
+		stmts []ast.Stmt
+		exprs []ast.Expr
+	}
+	infos := make([]clauseInfo, 0, len(clauses))
+	for _, c := range clauses {
+		ci := clauseInfo{entry: b.newBlock()}
+		if comm != nil {
+			ci.stmts = comm(c)
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		} else {
+			cc := c.(*ast.CaseClause)
+			ci.stmts = cc.Body
+			ci.exprs = cc.List
+			if cc.List == nil {
+				hasDefault = true
+			}
+		}
+		infos = append(infos, ci)
+	}
+	for i, ci := range infos {
+		header.addSucc(ci.entry)
+		b.cur = ci.entry
+		for _, e := range ci.exprs {
+			b.add(e)
+		}
+		fallsThrough := false
+		if n := len(ci.stmts); n > 0 {
+			if br, ok := ci.stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		b.stmtList(ci.stmts, "")
+		if b.cur != nil {
+			if fallsThrough && i+1 < len(infos) {
+				b.cur.addSucc(infos[i+1].entry)
+			} else {
+				b.cur.addSucc(after)
+			}
+		}
+	}
+	if !hasDefault {
+		header.addSucc(after)
+	}
+	b.popSwitch()
+	b.cur = after
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *cfgBlock) {
+	b.breakTargets = append(b.breakTargets, branchTarget{label: label, block: brk})
+	b.continueTargets = append(b.continueTargets, branchTarget{label: label, block: cont})
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+}
+
+func (b *cfgBuilder) pushSwitch(label string, brk *cfgBlock) {
+	b.breakTargets = append(b.breakTargets, branchTarget{label: label, block: brk})
+}
+
+func (b *cfgBuilder) popSwitch() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+}
+
+// findTarget resolves a break/continue label against a target stack
+// (innermost last). A nil label matches the innermost target; continue
+// never matches a bare switch entry because pushSwitch only grows the
+// break stack.
+func findTarget(stack []branchTarget, label *ast.Ident) *cfgBlock {
+	if label == nil {
+		if len(stack) == 0 {
+			return nil
+		}
+		return stack[len(stack)-1].block
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label.Name {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a function body for CFG construction.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f(a, b bool, xs []int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+// exitEdgeCount counts blocks flowing into the virtual exit.
+func exitEdgeCount(g *funcCFG) int {
+	n := 0
+	for _, blk := range g.blocks {
+		for _, s := range blk.succs {
+			if s == g.exit {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildCFG(parseBody(t, "x := 1\n_ = x"))
+	if g.imprecise {
+		t.Fatal("straight-line body marked imprecise")
+	}
+	if got := exitEdgeCount(g); got != 1 {
+		t.Fatalf("exit edges = %d, want 1 (fall off the end)", got)
+	}
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	g := buildCFG(parseBody(t, "if a {\n_ = 1\n} else {\n_ = 2\n}\n_ = 3"))
+	if got := exitEdgeCount(g); got != 1 {
+		t.Fatalf("exit edges = %d, want 1 (both arms rejoin)", got)
+	}
+}
+
+func TestCFGEarlyReturnAddsExit(t *testing.T) {
+	g := buildCFG(parseBody(t, "if a {\nreturn\n}\n_ = 1"))
+	if got := exitEdgeCount(g); got != 2 {
+		t.Fatalf("exit edges = %d, want 2 (early return + fall-off)", got)
+	}
+}
+
+func TestCFGPanicTerminatesWithoutExitEdge(t *testing.T) {
+	// The panic arm must NOT reach the exit: panicking paths are
+	// exempt from lockset balance by construction.
+	g := buildCFG(parseBody(t, "if a {\npanic(\"x\")\n}\n_ = 1"))
+	if got := exitEdgeCount(g); got != 1 {
+		t.Fatalf("exit edges = %d, want 1 (panic path terminates)", got)
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	g := buildCFG(parseBody(t, "for a {\n_ = 1\n}\n_ = 2"))
+	// The loop header must have two successors (body and after) and be
+	// reachable from the body again (back edge).
+	var header *cfgBlock
+	for _, blk := range g.blocks {
+		if len(blk.succs) == 2 {
+			header = blk
+			break
+		}
+	}
+	if header == nil {
+		t.Fatal("no two-way branch block found for loop header")
+	}
+	back := false
+	for _, blk := range g.blocks {
+		if blk == header {
+			continue
+		}
+		for _, s := range blk.succs {
+			if s == header {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatal("no back edge to the loop header")
+	}
+}
+
+func TestCFGRangeCanBeEmpty(t *testing.T) {
+	// range over an empty slice skips the body: the header needs an
+	// edge straight to the after-block, or lockbalance would assume
+	// loop bodies always run.
+	g := buildCFG(parseBody(t, "for range xs {\n_ = 1\n}\nreturn"))
+	if got := exitEdgeCount(g); got != 1 {
+		t.Fatalf("exit edges = %d, want 1", got)
+	}
+}
+
+func TestCFGSwitchWithoutDefaultFallsThrough(t *testing.T) {
+	g := buildCFG(parseBody(t, "switch {\ncase a:\n_ = 1\ncase b:\nreturn\n}\n_ = 2"))
+	if got := exitEdgeCount(g); got != 2 {
+		t.Fatalf("exit edges = %d, want 2 (case return + fall-off)", got)
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	body := `outer:
+	for a {
+		for b {
+			break outer
+		}
+	}
+	_ = 1`
+	g := buildCFG(parseBody(t, body))
+	if g.imprecise {
+		t.Fatal("labeled break marked imprecise; target resolution failed")
+	}
+}
+
+func TestCFGGotoIsImprecise(t *testing.T) {
+	g := buildCFG(parseBody(t, "goto done\ndone:\n_ = 1"))
+	if !g.imprecise {
+		t.Fatal("goto must mark the CFG imprecise (analyzers skip it)")
+	}
+}

@@ -45,3 +45,26 @@ func TestNilObsGolden(t *testing.T) {
 		Targets: map[string][]string{"obsstub": {"Hub"}},
 	}))
 }
+
+func TestLockOrderGolden(t *testing.T) {
+	runGolden(t, "lockorder", NewLockOrder())
+}
+
+func TestGuardedByGolden(t *testing.T) {
+	runGolden(t, "guardedby", NewGuardedBy())
+}
+
+func TestAtomicPlainGolden(t *testing.T) {
+	runGolden(t, "atomicplain", NewAtomicPlain())
+}
+
+func TestLockBalanceGolden(t *testing.T) {
+	runGolden(t, "lockbalance", NewLockBalance())
+}
+
+func TestUnusedIgnoreGolden(t *testing.T) {
+	// The unusedignore check is framework-level: it runs inside Run for
+	// whatever analyzer set is active. The fixture uses walltime as the
+	// suppressed analyzer.
+	runGolden(t, "unusedignore", NewWalltime(WalltimeConfig{}))
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// guardedby enforces the `// guarded by <field>` annotation convention:
+// a struct field annotated
+//
+//	table Table // guarded by mu
+//
+// may only be read while the *same instance's* mu is held (R or W
+// mode) and only written under the write lock. Lock identity is
+// per-instance — `other.writes` under `other.mu` is fine, under `h.mu`
+// it is not. Accesses on freshly constructed, not-yet-shared values
+// (the base was assigned from a composite literal or new() in the same
+// function) are exempt: constructors initialize without locking.
+// Closure bodies are skipped — the lockset a closure runs under is the
+// caller's at call time, which this engine does not model.
+//
+// The annotation itself is validated: the named guard must be a
+// sync.Mutex or sync.RWMutex field of the same struct.
+
+// NewGuardedBy returns the guardedby analyzer.
+func NewGuardedBy() *Analyzer {
+	return &Analyzer{
+		Name:        "guardedby",
+		Doc:         "fields annotated `// guarded by <field>` must only be accessed with that lock held",
+		NeedsModule: true,
+		Run:         runGuardedBy,
+	}
+}
+
+func runGuardedBy(pass *Pass) {
+	m := pass.Module
+	if m == nil {
+		return
+	}
+	// Validate annotations declared in this package.
+	for _, spec := range m.GuardedFields() {
+		if spec.pkg != pass.pkg {
+			continue
+		}
+		if kind := guardFieldKind(spec.owner, spec.guard); kind == gbGuardNone {
+			owner := "?"
+			if spec.owner != nil {
+				owner = spec.owner.Obj().Name()
+			}
+			pass.Reportf(spec.pos, "guarded-by annotation names %q, which is not a sync.Mutex or sync.RWMutex field of %s", spec.guard, owner)
+		}
+	}
+
+	res := m.LockAnalysis()
+	for _, fa := range res.order {
+		if fa.fn.pkg != pass.pkg || fa.imprecise {
+			continue
+		}
+		fresh := freshLocals(pass, fa.fn.decl)
+		for _, acc := range fa.accesses {
+			checkAccess(pass, acc, fresh)
+		}
+	}
+}
+
+type gbGuardKind int
+
+const (
+	gbGuardNone gbGuardKind = iota
+	gbGuardMutex
+	gbGuardRWMutex
+)
+
+// guardFieldKind looks up the guard field on the owning struct and
+// classifies its type.
+func guardFieldKind(owner *types.Named, name string) gbGuardKind {
+	if owner == nil {
+		return gbGuardNone
+	}
+	st, ok := owner.Underlying().(*types.Struct)
+	if !ok {
+		return gbGuardNone
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != name {
+			continue
+		}
+		named := namedOf(f.Type())
+		if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+			return gbGuardNone
+		}
+		switch named.Obj().Name() {
+		case "Mutex":
+			return gbGuardMutex
+		case "RWMutex":
+			return gbGuardRWMutex
+		}
+		return gbGuardNone
+	}
+	return gbGuardNone
+}
+
+// freshLocals collects local variables assigned from a composite
+// literal or new() anywhere in the function — values under
+// construction that no other goroutine can reach yet.
+func freshLocals(pass *Pass, decl *ast.FuncDecl) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	if decl == nil || decl.Body == nil {
+		return fresh
+	}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if !isFreshExpr(rhs) {
+			return
+		}
+		if obj := pass.Info.ObjectOf(id); obj != nil {
+			fresh[obj] = true
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					record(s.Lhs[i], s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(s.Names) == len(s.Values) {
+				for i := range s.Names {
+					record(s.Names[i], s.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFreshExpr reports whether e constructs a brand-new value: &T{...},
+// T{...}, or new(T).
+func isFreshExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}
+
+func checkAccess(pass *Pass, acc accessEvent, fresh map[types.Object]bool) {
+	basePath := renderPath(acc.baseExpr)
+	if basePath == "" {
+		// Base reached through an index or call result: beyond the
+		// engine's per-instance identity; skip rather than guess.
+		return
+	}
+	baseRoot := rootObjOf(acc.pkg, acc.baseExpr)
+	if baseRoot != nil && fresh[baseRoot] {
+		return
+	}
+	wantPath := basePath + "." + acc.spec.guard
+	var held *heldLock
+	for i := range acc.held {
+		h := &acc.held[i]
+		if h.path == wantPath && h.root == baseRoot {
+			held = h
+			break
+		}
+	}
+	fieldDesc := acc.spec.field.Name()
+	if acc.spec.owner != nil {
+		fieldDesc = acc.spec.owner.Obj().Name() + "." + fieldDesc
+	}
+	if held == nil {
+		verb := "read"
+		if acc.write {
+			verb = "write to"
+		}
+		pass.Reportf(acc.pos, "%s %s (guarded by %s) without holding %s", verb, fieldDesc, acc.spec.guard, wantPath)
+		return
+	}
+	if acc.write && held.rlock {
+		pass.Reportf(acc.pos, "write to %s (guarded by %s) while holding only the read lock %s", fieldDesc, acc.spec.guard, wantPath)
+	}
+}

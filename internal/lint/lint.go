@@ -23,13 +23,29 @@
 //     not be discarded.
 //   - nilobs: obs hub/reporter/journal methods must keep their documented
 //     nil-receiver safety.
+//   - lockorder: the global lock-acquisition order graph must be acyclic
+//     (a cycle is a potential deadlock), built flow-sensitively over the
+//     module call graph.
+//   - guardedby: fields annotated `// guarded by <field>` may only be
+//     accessed while that instance's lock is in the lockset (write lock
+//     for writes).
+//   - atomicplain: a field accessed via sync/atomic anywhere must never
+//     be accessed plainly elsewhere.
+//   - lockbalance: every path through a function leaves the lockset as
+//     it entered — no early-return missing-Unlock.
+//
+// The last four share the flow-sensitive layer in cfg.go, module.go and
+// lockset.go: per-function basic-block CFGs, a type-resolved static call
+// graph with interface widening, and a lockset dataflow fixpoint.
 //
 // Diagnostics can be suppressed with a justified comment on the flagged
 // line or the line directly above it:
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// The reason is mandatory; an ignore without one is inert.
+// The reason is mandatory; an ignore without one is inert. A justified
+// ignore that suppresses nothing is itself reported (unusedignore), so
+// stale suppressions cannot accumulate.
 package lint
 
 import (
@@ -63,6 +79,10 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of what the analyzer proves.
 	Doc string
+	// NeedsModule requests the whole-tree Module view (CFGs, call
+	// graph, lockset analysis) on the pass. Run builds it once and
+	// shares it across analyzers.
+	NeedsModule bool
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
 }
@@ -73,7 +93,11 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Module is the whole-tree view (call graph, CFGs, lockset
+	// analysis); nil unless the analyzer sets NeedsModule.
+	Module *Module
 
+	pkg      *Package
 	analyzer *Analyzer
 	sink     *[]Diagnostic
 }
@@ -109,15 +133,30 @@ type ignoreKey struct {
 	line int
 }
 
-// ignoreIndex maps source lines to the analyzer names suppressed there.
-// The special name "all" suppresses every analyzer on that line.
-type ignoreIndex map[ignoreKey]map[string]bool
+// directive is one justified //lint:ignore comment, tracked so unused
+// suppressions — a directive whose analyzer never fired on its lines —
+// are themselves reported (the unusedignore check). Directives are
+// kept in a slice in scan order so reporting is deterministic without
+// ranging over the index map.
+type directive struct {
+	file string
+	line int // the directive's own line
+	name string
+	used bool
+}
+
+// ignoreIndex maps source lines to the directives covering them. A
+// directive covers its own line (trailing comment) and the line
+// directly below it (comment above the flagged statement).
+type ignoreIndex struct {
+	byLine map[ignoreKey][]*directive
+	all    []*directive
+}
 
 // buildIgnoreIndex scans a package's comments for lint:ignore directives.
-// A directive covers its own line (trailing comment) and the line directly
-// below it (comment above the flagged statement). Directives without a
-// reason are ignored — suppressions must be justified.
-func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, idx ignoreIndex) {
+// Directives without a reason are inert — suppressions must be justified —
+// and inert directives are not tracked for unusedignore either.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, idx *ignoreIndex) {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -131,32 +170,90 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, idx ignoreIndex) {
 					// No analyzer name or no reason: inert.
 					continue
 				}
-				name := fields[0]
 				pos := fset.Position(c.Pos())
+				d := &directive{file: pos.Filename, line: pos.Line, name: fields[0]}
+				idx.all = append(idx.all, d)
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					key := ignoreKey{file: pos.Filename, line: line}
-					if idx[key] == nil {
-						idx[key] = map[string]bool{}
-					}
-					idx[key][name] = true
+					idx.byLine[key] = append(idx.byLine[key], d)
 				}
 			}
 		}
 	}
 }
 
-func (idx ignoreIndex) suppressed(d Diagnostic) bool {
-	names := idx[ignoreKey{file: d.File, line: d.Line}]
-	return names[d.Analyzer] || names["all"]
+// suppressed reports whether a matching directive covers d, marking
+// every matching directive used.
+func (idx *ignoreIndex) suppressed(d Diagnostic) bool {
+	hit := false
+	for _, dir := range idx.byLine[ignoreKey{file: d.File, line: d.Line}] {
+		if dir.name == d.Analyzer || dir.name == "all" {
+			dir.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// unusedFindings reports directives that suppressed nothing. Only
+// directives naming an analyzer that actually ran (or "all") are
+// eligible: golden tests run analyzer subsets, and a directive for an
+// analyzer outside the subset is not stale, just out of scope.
+func (idx *ignoreIndex) unusedFindings(running map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range idx.all {
+		if dir.used {
+			continue
+		}
+		if dir.name != "all" && !running[dir.name] {
+			continue
+		}
+		msg := fmt.Sprintf("unused lint:ignore directive: no %s finding on this line", dir.name)
+		if dir.name == "all" {
+			msg = "unused lint:ignore directive: no finding on this line"
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "unusedignore",
+			File:     dir.file,
+			Line:     dir.line,
+			Col:      1,
+			Message:  msg,
+		})
+	}
+	return out
+}
+
+// suppressedExplicit is the suppression check for unusedignore's own
+// findings: only a directive explicitly naming "unusedignore" counts —
+// a wildcard "all" must not hide its own staleness.
+func (idx *ignoreIndex) suppressedExplicit(d Diagnostic) bool {
+	hit := false
+	for _, dir := range idx.byLine[ignoreKey{file: d.File, line: d.Line}] {
+		if dir.name == d.Analyzer {
+			dir.used = true
+			hit = true
+		}
+	}
+	return hit
 }
 
 // Run applies every analyzer to every package and returns the surviving
-// diagnostics sorted by position. Suppressed findings are dropped.
+// diagnostics sorted by position. Suppressed findings are dropped; a
+// justified suppression that suppressed nothing becomes an unusedignore
+// finding of its own.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	ignores := ignoreIndex{}
+	ignores := &ignoreIndex{byLine: map[ignoreKey][]*directive{}}
 	for _, pkg := range pkgs {
 		buildIgnoreIndex(pkg.Fset, pkg.Files, ignores)
+	}
+	var module *Module
+	running := map[string]bool{}
+	for _, a := range analyzers {
+		running[a.Name] = true
+		if a.NeedsModule && module == nil {
+			module = NewModule(pkgs)
+		}
 	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -165,8 +262,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				pkg:      pkg,
 				analyzer: a,
 				sink:     &diags,
+			}
+			if a.NeedsModule {
+				pass.Module = module
 			}
 			a.Run(pass)
 		}
@@ -175,6 +276,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	seen := map[Diagnostic]bool{}
 	for _, d := range diags {
 		if ignores.suppressed(d) || seen[d] {
+			continue
+		}
+		seen[d] = true
+		kept = append(kept, d)
+	}
+	// Stale suppressions are findings too — suppressible only by a
+	// directive explicitly naming unusedignore, never by a wildcard.
+	for _, d := range ignores.unusedFindings(running) {
+		if ignores.suppressedExplicit(d) || seen[d] {
 			continue
 		}
 		seen[d] = true
@@ -210,6 +320,27 @@ func WriteJSON(w io.Writer, diags []Diagnostic) error {
 	return enc.Encode(diags)
 }
 
+// Report is the -json envelope: which analyzers ran, and what they
+// found. CI greps Analyzers to assert the whole suite is registered.
+type Report struct {
+	Analyzers []string     `json:"analyzers"`
+	Findings  []Diagnostic `json:"findings"`
+}
+
+// WriteReport renders the envelope form of -json output.
+func WriteReport(w io.Writer, analyzers []*Analyzer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Report{Analyzers: names, Findings: diags})
+}
+
 // Analyzers returns the production suite configured for this module's
 // package layout. Golden tests construct analyzers with fixture-specific
 // configurations instead.
@@ -234,5 +365,11 @@ func Analyzers() []*Analyzer {
 				"mcfs/internal/mc/visited": {"Governor"},
 			},
 		}),
+		// The flow-sensitive concurrency suite (CFG + call graph +
+		// lockset dataflow over the whole module).
+		NewLockOrder(),
+		NewGuardedBy(),
+		NewAtomicPlain(),
+		NewLockBalance(),
 	}
 }

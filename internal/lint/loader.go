@@ -81,6 +81,48 @@ func findModule(dir string) (root, path string, err error) {
 	}
 }
 
+// topoOrder returns a dependencies-first ordering of the packages in
+// imports (package path → sorted intra-tree deps). The result is a
+// pure function of its input: roots are visited in sorted order and
+// each node's dependency list is required pre-sorted, so the
+// type-check order — and therefore every downstream artifact (object
+// positions, diagnostic order, the call graph) — never depends on map
+// iteration. The maporder analyzer is dogfooded on this file; the
+// collect-then-sort shape here is what it enforces module-wide.
+func topoOrder(imports map[string][]string) ([]string, error) {
+	paths := make([]string, 0, len(imports))
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", p)
+		case 2:
+			return nil
+		}
+		state[p] = 1
+		for _, dep := range imports[p] {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[p] = 2
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
 // LoadTree parses and type-checks every non-test package under root.
 // Import paths are formed as modPath + "/" + relative directory (or just
 // the relative directory when modPath is empty, as the golden-test
@@ -156,42 +198,20 @@ func LoadTree(root, modPath string) ([]*Package, error) {
 
 	// Topologically order packages by their intra-tree imports so each
 	// package's dependencies are type-checked before it.
-	paths := make([]string, 0, len(raw))
-	for p := range raw {
-		paths = append(paths, p)
-	}
-	sort.Strings(paths)
-	var order []string
-	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
-	var visit func(string) error
-	visit = func(p string) error {
-		switch state[p] {
-		case 1:
-			return fmt.Errorf("lint: import cycle through %s", p)
-		case 2:
-			return nil
-		}
-		state[p] = 1
-		deps := make([]string, 0, len(raw[p].imports))
-		for dep := range raw[p].imports {
+	imports := make(map[string][]string, len(raw))
+	for p, rp := range raw {
+		deps := make([]string, 0, len(rp.imports))
+		for dep := range rp.imports {
 			if _, ours := raw[dep]; ours {
 				deps = append(deps, dep)
 			}
 		}
 		sort.Strings(deps)
-		for _, dep := range deps {
-			if err := visit(dep); err != nil {
-				return err
-			}
-		}
-		state[p] = 2
-		order = append(order, p)
-		return nil
+		imports[p] = deps
 	}
-	for _, p := range paths {
-		if err := visit(p); err != nil {
-			return nil, err
-		}
+	order, err := topoOrder(imports)
+	if err != nil {
+		return nil, err
 	}
 
 	imp := &chainImporter{

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// lockbalance proves that every path through a function leaves the
+// lockset exactly as it entered — the concurrency analogue of
+// checkpointleak's restore-or-discard pairing. An early return between
+// Lock and Unlock (without a defer) is the classic bug this catches; a
+// release of a lock the caller was holding at entry (inferred from
+// call sites) is the inverse. Paths that end in panic() are exempt:
+// deferred unlocks run during the unwind.
+//
+// Function literals are checked standalone with an empty entry
+// lockset: a closure that acquires and returns still holding is
+// reported, but an unlock of a captured lock (deferred-release
+// closures, hand-off helpers) is not an imbalance the closure can be
+// blamed for, so negative balance inside literals is ignored.
+
+// NewLockBalance returns the lockbalance analyzer.
+func NewLockBalance() *Analyzer {
+	return &Analyzer{
+		Name:        "lockbalance",
+		Doc:         "every path through a function must leave the lockset as it entered",
+		NeedsModule: true,
+		Run:         runLockBalance,
+	}
+}
+
+func runLockBalance(pass *Pass) {
+	m := pass.Module
+	if m == nil {
+		return
+	}
+	res := m.LockAnalysis()
+	for _, fa := range res.order {
+		if fa.fn.pkg != pass.pkg || fa.imprecise {
+			continue
+		}
+		reportImbalance(pass, fa, false)
+	}
+	// Function literals, each analyzed standalone.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			fa := m.analyzeLit(pass.pkg, lit)
+			if !fa.imprecise {
+				reportImbalance(pass, fa, true)
+			}
+			return true // nested literals are analyzed on their own too
+		})
+	}
+}
+
+// reportImbalance compares each exit's lockset against the entry set.
+// inLit suppresses negative findings (released-but-not-acquired), which
+// a closure cannot be blamed for.
+func reportImbalance(pass *Pass, fa *funcAnalysis, inLit bool) {
+	for _, ex := range fa.exits {
+		// Locks held at exit that were not held at entry.
+		for _, h := range ex.held {
+			if _, atEntry := fa.entry.find(h.instKey()); atEntry {
+				continue
+			}
+			pass.Reportf(ex.pos, "returns still holding %s (acquired at line %d) — missing Unlock on this path",
+				h.path, pass.Fset.Position(h.pos).Line)
+		}
+		if inLit {
+			continue
+		}
+		// Entry-held locks released before exit.
+		for _, h := range fa.entry {
+			if _, still := ex.held.find(h.instKey()); still {
+				continue
+			}
+			pass.Reportf(ex.pos, "returns after releasing %s, which callers hold across this call", h.path)
+		}
+	}
+	if !inLit {
+		for _, f := range fa.unlockErr {
+			pass.Reportf(f.pos, "unlocking %s, which is not held on some path reaching this statement", f.path)
+		}
+	}
+}
+
+// analyzeLit runs the lockset walk over one function literal with an
+// empty entry lockset.
+func (m *Module) analyzeLit(pkg *Package, lit *ast.FuncLit) *funcAnalysis {
+	mf := &modFunc{pkg: pkg, cfg: buildCFG(lit.Body), decl: &ast.FuncDecl{Name: ast.NewIdent("func literal"), Body: lit.Body}}
+	return m.analyzeFunc(mf, nil)
+}

@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// lockorder builds the module-global lock-acquisition order graph and
+// reports every edge that participates in a cycle — the static shape of
+// a potential deadlock. Nodes are type-level lock identities
+// ("visited.Set.mu"): if any code path acquires B while holding A, the
+// graph has edge A→B, both from direct acquisitions and from calls
+// made while holding A to functions that (transitively) acquire B. Two
+// locks of the same type (different instances) never form an edge —
+// shard-style same-type locking is ordered by index, which this
+// analyzer cannot see — but re-acquiring the very same instance is a
+// self-cycle and is reported.
+//
+// Flow-sensitivity matters here: a method that unlocks its own mutex
+// before calling back into its parent (stream.Subscriber.Close →
+// Bus.unsubscribe) contributes no edge, because the lockset at the
+// call site is already empty.
+
+// NewLockOrder returns the lockorder analyzer.
+func NewLockOrder() *Analyzer {
+	return &Analyzer{
+		Name:        "lockorder",
+		Doc:         "acquiring locks in a cycle-forming order is a potential deadlock",
+		NeedsModule: true,
+		Run:         runLockOrder,
+	}
+}
+
+// orderEdge is one acquired-while-holding relation with its witness.
+type orderEdge struct {
+	from, to string
+	pos      token.Pos
+	pkg      *Package
+	selfInst bool // same-instance re-acquire (always reported)
+}
+
+type orderGraph struct {
+	edges []orderEdge
+	// cyclic marks edges inside a cyclic strongly connected component.
+	cyclic []bool
+	// cycleDesc renders the SCC membership for each cyclic edge.
+	cycleDesc []string
+}
+
+func runLockOrder(pass *Pass) {
+	m := pass.Module
+	if m == nil {
+		return
+	}
+	g := m.lockOrderGraph()
+	for i, e := range g.edges {
+		if !g.cyclic[i] {
+			continue
+		}
+		if e.pkg != pass.pkg {
+			continue
+		}
+		if e.selfInst {
+			pass.Reportf(e.pos, "re-acquiring %s while already holding it deadlocks (non-reentrant mutex)", e.to)
+			continue
+		}
+		pass.Reportf(e.pos, "acquiring %s while holding %s completes a lock-order cycle (%s)", e.to, e.from, g.cycleDesc[i])
+	}
+}
+
+// lockOrderGraph builds (and caches) the global order graph and its
+// cycle classification.
+func (m *Module) lockOrderGraph() *orderGraph {
+	if m.orderGraph != nil {
+		return m.orderGraph
+	}
+	res := m.LockAnalysis()
+
+	// Collect edges with a deterministic minimal witness per (from,to).
+	type edgeKey struct{ from, to string }
+	best := map[edgeKey]orderEdge{}
+	consider := func(e orderEdge) {
+		k := edgeKey{e.from, e.to}
+		if old, ok := best[k]; !ok || e.pos < old.pos {
+			best[k] = e
+		}
+	}
+	for _, fa := range res.order {
+		if fa.imprecise {
+			continue
+		}
+		for _, ev := range fa.acquires {
+			if ev.lock.typeID == "" {
+				continue
+			}
+			for _, h := range ev.held {
+				if h.typeID == "" {
+					continue
+				}
+				if h.typeID == ev.lock.typeID {
+					if h.instKey() == ev.lock.instKey() && h.rlock == ev.lock.rlock {
+						consider(orderEdge{from: h.typeID, to: ev.lock.typeID, pos: ev.lock.pos, pkg: ev.pkg, selfInst: true})
+					}
+					continue
+				}
+				consider(orderEdge{from: h.typeID, to: ev.lock.typeID, pos: ev.lock.pos, pkg: ev.pkg})
+			}
+		}
+		for _, ce := range fa.calls {
+			if len(ce.held) == 0 {
+				continue
+			}
+			for _, callee := range ce.callees {
+				acq := res.transAcquires[callee.obj]
+				ids := make([]string, 0, len(acq))
+				for id := range acq {
+					ids = append(ids, id)
+				}
+				sort.Strings(ids)
+				for _, id := range ids {
+					for _, h := range ce.held {
+						if h.typeID == "" || h.typeID == id {
+							continue
+						}
+						consider(orderEdge{from: h.typeID, to: id, pos: ce.pos, pkg: ce.pkg})
+					}
+				}
+			}
+		}
+	}
+
+	keys := make([]edgeKey, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	g := &orderGraph{}
+	for _, k := range keys {
+		g.edges = append(g.edges, best[k])
+	}
+
+	scc := tarjanSCC(g.edges)
+	g.cyclic = make([]bool, len(g.edges))
+	g.cycleDesc = make([]string, len(g.edges))
+	for i, e := range g.edges {
+		if e.selfInst {
+			g.cyclic[i] = true
+			g.cycleDesc[i] = e.to + " -> " + e.to
+			continue
+		}
+		compFrom, okF := scc.comp[e.from]
+		compTo, okT := scc.comp[e.to]
+		if !okF || !okT || compFrom != compTo {
+			continue
+		}
+		members := scc.members[compFrom]
+		if len(members) > 1 || e.from == e.to {
+			g.cyclic[i] = true
+			g.cycleDesc[i] = strings.Join(members, " -> ") + " -> " + members[0]
+		}
+	}
+	m.orderGraph = g
+	return g
+}
+
+// sccResult maps each node to its strongly connected component.
+type sccResult struct {
+	comp    map[string]int
+	members map[int][]string // sorted
+}
+
+// tarjanSCC runs Tarjan's algorithm over the edge list (iteratively,
+// with deterministic node order).
+func tarjanSCC(edges []orderEdge) *sccResult {
+	adj := map[string][]string{}
+	nodeSet := map[string]bool{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+		nodeSet[e.from] = true
+		nodeSet[e.to] = true
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		sort.Strings(adj[n])
+	}
+
+	res := &sccResult{comp: map[string]int{}, members: map[int][]string{}}
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	nComp := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				res.comp[w] = nComp
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(members)
+			res.members[nComp] = members
+			nComp++
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return res
+}

@@ -1,0 +1,815 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The lockset engine: a forward dataflow analysis over each function's
+// CFG tracking which mutexes are held at every program point. Lock
+// identity is per-instance — the root identifier's object plus the
+// rendered selector path ("s.mu", "other.mu", "sh.mu") — so two locks
+// of the same type on different receivers stay distinct. Each lock also
+// carries a type-level ID ("visited.Set.mu") for the global acquisition
+// order graph.
+//
+// `defer mu.Unlock()` marks the held lock deferred: it stays in the
+// lockset (the lock IS held for guardedby/lockorder purposes) but is
+// filtered out when exit balance is checked. Deferred func literals are
+// scanned for the unlocks they perform. `go func(){...}` bodies are
+// excluded entirely: they do not run under the spawning function's
+// locks. Non-go func literals contribute their acquires and calls to
+// the enclosing function's lockorder summary (at the literal's
+// position, under the lockset then held) but are not themselves
+// flow-analyzed within the caller.
+//
+// Entry locksets: an unexported function assumes, at entry, the
+// intersection of the locksets its call sites hold (mapped through the
+// receiver chain), computed in a first round that analyzes everything
+// lock-free. This is how `rebill` — documented "callers hold the table
+// write lock" — knows s.mu is held. Exported functions assume nothing.
+
+// heldLock is one mutex known to be held.
+type heldLock struct {
+	root     types.Object // object of the leftmost ident ("s" in s.mu)
+	path     string       // rendered chain, e.g. "s.mu"
+	typeID   string       // type-level ID, e.g. "visited.Set.mu"
+	rlock    bool         // acquired via RLock
+	deferred bool         // release is a pending defer
+	pos      token.Pos    // acquisition site
+}
+
+// key is the per-instance identity used for set membership.
+func (h heldLock) key() string {
+	mode := "w"
+	if h.rlock {
+		mode = "r"
+	}
+	return h.path + "\x00" + mode + "\x00" + objKey(h.root)
+}
+
+// instKey ignores mode: Lock and RLock of one mutex are the same
+// instance for release matching.
+func (h heldLock) instKey() string {
+	return h.path + "\x00" + objKey(h.root)
+}
+
+func objKey(o types.Object) string {
+	if o == nil {
+		return "?"
+	}
+	return o.Name() + "@" + strconv.Itoa(int(o.Pos()))
+}
+
+// lockset is an ordered set of held locks (sorted by key).
+type lockset []heldLock
+
+func (ls lockset) clone() lockset {
+	out := make(lockset, len(ls))
+	copy(out, ls)
+	return out
+}
+
+func (ls lockset) with(h heldLock) lockset {
+	out := ls.clone()
+	out = append(out, h)
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// without removes the lock instance matching k, reporting whether it
+// was present.
+func (ls lockset) without(instKey string) (lockset, bool) {
+	for i, h := range ls {
+		if h.instKey() == instKey {
+			out := make(lockset, 0, len(ls)-1)
+			out = append(out, ls[:i]...)
+			out = append(out, ls[i+1:]...)
+			return out, true
+		}
+	}
+	return ls, false
+}
+
+func (ls lockset) find(instKey string) (heldLock, bool) {
+	for _, h := range ls {
+		if h.instKey() == instKey {
+			return h, true
+		}
+	}
+	return heldLock{}, false
+}
+
+func (ls lockset) fingerprint() string {
+	var sb strings.Builder
+	for _, h := range ls {
+		sb.WriteString(h.key())
+		if h.deferred {
+			sb.WriteByte('d')
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// lockEvent records one acquisition and the locks held at that moment.
+type lockEvent struct {
+	lock heldLock
+	held lockset
+	pkg  *Package
+}
+
+// callEvent records a resolved call and the locks held around it.
+type callEvent struct {
+	callees []*modFunc
+	held    lockset
+	pos     token.Pos
+	pkg     *Package
+	// recvExpr is the receiver expression for method calls (nil for
+	// plain calls); used to map caller-held locks into the callee frame
+	// for entry-lockset inference.
+	recvExpr ast.Expr
+}
+
+// accessEvent records a read or write of a guarded field.
+type accessEvent struct {
+	spec     *guardSpec
+	write    bool
+	held     lockset
+	pos      token.Pos
+	pkg      *Package
+	baseExpr ast.Expr // the base of the selector ("s" in s.table)
+}
+
+// exitEvent is one path reaching the function exit.
+type exitEvent struct {
+	held lockset // after dropping deferred releases
+	pos  token.Pos
+}
+
+// unlockFault is an Unlock with no matching lock on some path.
+type unlockFault struct {
+	path string
+	pos  token.Pos
+}
+
+// funcAnalysis is the lockset engine's result for one function.
+type funcAnalysis struct {
+	fn        *modFunc
+	entry     lockset
+	imprecise bool
+	acquires  []lockEvent
+	calls     []callEvent
+	accesses  []accessEvent
+	exits     []exitEvent
+	unlockErr []unlockFault
+}
+
+// modAnalysis is the module-wide fixpoint result.
+type modAnalysis struct {
+	funcs map[*types.Func]*funcAnalysis
+	order []*funcAnalysis
+	// transAcquires maps each function to the type-level IDs of locks
+	// it (transitively) acquires, with a witness position per ID.
+	transAcquires map[*types.Func]map[string]token.Pos
+}
+
+// maxLocksetVariants bounds the per-block lockset states tracked before
+// a function is declared imprecise and skipped; branch-dependent
+// locking past this depth is beyond the engine's precision.
+const maxLocksetVariants = 8
+
+// LockAnalysis computes (and caches) the two-round lockset analysis.
+func (m *Module) LockAnalysis() *modAnalysis {
+	if m.lockResult != nil {
+		return m.lockResult
+	}
+	// Round 1: empty entry locksets; harvest call-site locksets.
+	round1 := m.runRound(nil)
+	entries := m.inferEntries(round1)
+	// Round 2: final analysis under the inferred entry locksets.
+	result := m.runRound(entries)
+	result.transAcquires = m.transitiveAcquires(result)
+	m.lockResult = result
+	return result
+}
+
+func (m *Module) runRound(entries map[*types.Func]lockset) *modAnalysis {
+	res := &modAnalysis{funcs: map[*types.Func]*funcAnalysis{}}
+	for _, mf := range m.order {
+		fa := m.analyzeFunc(mf, entries[mf.obj])
+		res.funcs[mf.obj] = fa
+		res.order = append(res.order, fa)
+	}
+	return res
+}
+
+// inferEntries intersects call-site locksets (mapped into the callee
+// frame) for unexported module functions.
+func (m *Module) inferEntries(round *modAnalysis) map[*types.Func]lockset {
+	type siteSet struct {
+		sets []lockset
+	}
+	sites := map[*types.Func]*siteSet{}
+	for _, fa := range round.order {
+		if fa.imprecise {
+			continue
+		}
+		for _, ce := range fa.calls {
+			for _, callee := range ce.callees {
+				if callee.obj.Exported() {
+					continue
+				}
+				mapped := mapLockset(fa.fn.pkg, ce, callee)
+				ss := sites[callee.obj]
+				if ss == nil {
+					ss = &siteSet{}
+					sites[callee.obj] = ss
+				}
+				ss.sets = append(ss.sets, mapped)
+			}
+		}
+	}
+	entries := map[*types.Func]lockset{}
+	for _, mf := range m.order {
+		ss := sites[mf.obj]
+		if ss == nil || len(ss.sets) == 0 {
+			continue
+		}
+		inter := ss.sets[0]
+		for _, s := range ss.sets[1:] {
+			inter = intersectLocksets(inter, s)
+		}
+		if len(inter) > 0 {
+			entries[mf.obj] = inter
+		}
+	}
+	return entries
+}
+
+// mapLockset rewrites caller-held locks into the callee's frame: a
+// lock rooted at the call's receiver chain maps onto the callee's
+// receiver parameter; package-level locks pass through unchanged;
+// everything else is dropped (unknown in the callee).
+func mapLockset(pkg *Package, ce callEvent, callee *modFunc) lockset {
+	var recvPath string
+	var recvRoot types.Object
+	var calleeRecv types.Object
+	var calleeRecvName string
+	if ce.recvExpr != nil && callee.decl.Recv != nil && len(callee.decl.Recv.List) == 1 {
+		recvPath = renderPath(ce.recvExpr)
+		recvRoot = rootObjOf(pkg, ce.recvExpr)
+		names := callee.decl.Recv.List[0].Names
+		if len(names) == 1 {
+			calleeRecvName = names[0].Name
+			calleeRecv = callee.pkg.Info.Defs[names[0]]
+		}
+	}
+	var out lockset
+	for _, h := range ce.held {
+		if h.root != nil && h.root.Parent() != nil && h.root.Pkg() != nil &&
+			h.root.Parent() == h.root.Pkg().Scope() {
+			// Package-level lock: visible as-is in the callee.
+			out = append(out, h)
+			continue
+		}
+		if recvPath == "" || calleeRecv == nil || recvRoot == nil {
+			continue
+		}
+		if h.root != recvRoot || !strings.HasPrefix(h.path, recvPath+".") {
+			continue
+		}
+		nh := h
+		nh.root = calleeRecv
+		nh.path = calleeRecvName + h.path[len(recvPath):]
+		nh.deferred = false // the caller's defer is not the callee's
+		out = append(out, nh)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+func intersectLocksets(a, b lockset) lockset {
+	var out lockset
+	for _, h := range a {
+		if _, ok := b.find(h.instKey()); ok {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// transitiveAcquires runs the acquire-set fixpoint over the call graph:
+// a function's set is its direct acquisitions plus everything its
+// resolved callees acquire.
+func (m *Module) transitiveAcquires(res *modAnalysis) map[*types.Func]map[string]token.Pos {
+	acq := map[*types.Func]map[string]token.Pos{}
+	for _, fa := range res.order {
+		set := map[string]token.Pos{}
+		for _, ev := range fa.acquires {
+			if ev.lock.typeID == "" {
+				continue
+			}
+			if old, ok := set[ev.lock.typeID]; !ok || ev.lock.pos < old {
+				set[ev.lock.typeID] = ev.lock.pos
+			}
+		}
+		acq[fa.fn.obj] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fa := range res.order {
+			set := acq[fa.fn.obj]
+			for _, ce := range fa.calls {
+				for _, callee := range ce.callees {
+					for id, pos := range acq[callee.obj] {
+						if old, ok := set[id]; !ok || pos < old {
+							if !ok {
+								changed = true
+							}
+							set[id] = pos
+						}
+					}
+				}
+			}
+		}
+	}
+	return acq
+}
+
+// analyzeFunc runs the per-function dataflow walk.
+func (m *Module) analyzeFunc(mf *modFunc, entry lockset) *funcAnalysis {
+	fa := &funcAnalysis{fn: mf, entry: entry, imprecise: mf.cfg.imprecise}
+	if fa.imprecise {
+		return fa
+	}
+	g := mf.cfg
+
+	// Per-block sets of possible entry locksets, keyed by fingerprint.
+	type blockState struct {
+		sets  []lockset
+		fps   map[string]bool
+		inQ   bool
+		burst bool // variant cap exceeded
+	}
+	states := make([]*blockState, len(g.blocks))
+	for i := range states {
+		states[i] = &blockState{fps: map[string]bool{}}
+	}
+	add := func(bs *blockState, ls lockset) bool {
+		fp := ls.fingerprint()
+		if bs.fps[fp] {
+			return false
+		}
+		if len(bs.sets) >= maxLocksetVariants {
+			bs.burst = true
+			return false
+		}
+		bs.fps[fp] = true
+		bs.sets = append(bs.sets, ls)
+		return true
+	}
+	if entry == nil {
+		entry = lockset{}
+	}
+	add(states[g.entry.index], entry)
+
+	w := &locksetWalker{m: m, pkg: mf.pkg, fa: fa}
+
+	// Fixpoint: propagate locksets until stable. Events are emitted
+	// during propagation and deduped afterwards.
+	queue := []*cfgBlock{g.entry}
+	states[g.entry.index].inQ = true
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		states[blk.index].inQ = false
+		for _, ls := range states[blk.index].sets {
+			out := w.walkBlock(blk, ls)
+			if blk == g.exit {
+				continue
+			}
+			for _, succ := range blk.succs {
+				if succ == g.exit {
+					fa.exits = append(fa.exits, exitEvent{held: dropDeferred(out), pos: blk.exitPos})
+					continue
+				}
+				if add(states[succ.index], out) && !states[succ.index].inQ {
+					states[succ.index].inQ = true
+					queue = append(queue, succ)
+				}
+			}
+		}
+	}
+	for _, bs := range states {
+		if bs.burst {
+			fa.imprecise = true
+		}
+	}
+	if fa.imprecise {
+		// Results from a blown-out state space are unreliable.
+		fa.acquires, fa.calls, fa.accesses, fa.exits, fa.unlockErr = nil, nil, nil, nil, nil
+		return fa
+	}
+	dedupeEvents(fa)
+	return fa
+}
+
+func dropDeferred(ls lockset) lockset {
+	var out lockset
+	for _, h := range ls {
+		if !h.deferred {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// dedupeEvents collapses events re-emitted by the fixpoint revisiting a
+// block, keyed by position + held fingerprint, preserving order.
+func dedupeEvents(fa *funcAnalysis) {
+	seenA := map[string]bool{}
+	var acquires []lockEvent
+	for _, e := range fa.acquires {
+		k := strconv.Itoa(int(e.lock.pos)) + "|" + e.held.fingerprint()
+		if !seenA[k] {
+			seenA[k] = true
+			acquires = append(acquires, e)
+		}
+	}
+	fa.acquires = acquires
+	seenC := map[string]bool{}
+	var calls []callEvent
+	for _, e := range fa.calls {
+		k := strconv.Itoa(int(e.pos)) + "|" + e.held.fingerprint()
+		if !seenC[k] {
+			seenC[k] = true
+			calls = append(calls, e)
+		}
+	}
+	fa.calls = calls
+	seenAcc := map[string]bool{}
+	var accesses []accessEvent
+	for _, e := range fa.accesses {
+		k := strconv.Itoa(int(e.pos)) + "|" + e.held.fingerprint()
+		if !seenAcc[k] {
+			seenAcc[k] = true
+			accesses = append(accesses, e)
+		}
+	}
+	fa.accesses = accesses
+	seenE := map[string]bool{}
+	var exits []exitEvent
+	for _, e := range fa.exits {
+		k := strconv.Itoa(int(e.pos)) + "|" + e.held.fingerprint()
+		if !seenE[k] {
+			seenE[k] = true
+			exits = append(exits, e)
+		}
+	}
+	fa.exits = exits
+	seenU := map[string]bool{}
+	var faults []unlockFault
+	for _, e := range fa.unlockErr {
+		k := strconv.Itoa(int(e.pos))
+		if !seenU[k] {
+			seenU[k] = true
+			faults = append(faults, e)
+		}
+	}
+	fa.unlockErr = faults
+}
+
+// locksetWalker interprets one block's nodes under one entry lockset.
+type locksetWalker struct {
+	m   *Module
+	pkg *Package
+	fa  *funcAnalysis
+}
+
+func (w *locksetWalker) walkBlock(blk *cfgBlock, ls lockset) lockset {
+	for _, n := range blk.nodes {
+		ls = w.walkNode(n, ls)
+	}
+	return ls
+}
+
+// walkNode interprets one statement or expression, emitting events and
+// returning the updated lockset.
+func (w *locksetWalker) walkNode(n ast.Node, ls lockset) lockset {
+	switch s := n.(type) {
+	case *ast.GoStmt:
+		// Goroutine bodies run concurrently, not under these locks.
+		return ls
+	case *ast.DeferStmt:
+		return w.walkDefer(s, ls)
+	}
+	// Generic walk: find lock operations, guarded accesses, and calls
+	// in source order, skipping FuncLit and GoStmt subtrees (FuncLits
+	// still contribute acquire/call summaries at their position).
+	ls = w.scanExpr(n, ls, scanCtx{})
+	return ls
+}
+
+// scanCtx carries write-context flags down the expression walk.
+type scanCtx struct {
+	write bool
+}
+
+func (w *locksetWalker) scanExpr(n ast.Node, ls lockset, ctx scanCtx) lockset {
+	switch e := n.(type) {
+	case nil:
+		return ls
+
+	case *ast.ExprStmt:
+		return w.scanExpr(e.X, ls, scanCtx{})
+
+	case *ast.AssignStmt:
+		for _, rhs := range e.Rhs {
+			ls = w.scanExpr(rhs, ls, scanCtx{})
+		}
+		for _, lhs := range e.Lhs {
+			ls = w.scanExpr(lhs, ls, scanCtx{write: true})
+		}
+		return ls
+
+	case *ast.IncDecStmt:
+		return w.scanExpr(e.X, ls, scanCtx{write: true})
+
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			// Address taken: the pointee may be written through it.
+			return w.scanExpr(e.X, ls, scanCtx{write: true})
+		}
+		return w.scanExpr(e.X, ls, ctx)
+
+	case *ast.CallExpr:
+		return w.scanCall(e, ls)
+
+	case *ast.FuncLit:
+		// Closure bodies are not flow-analyzed in the caller, but
+		// their acquires and resolved calls join the lockorder summary
+		// at the literal's position under the current lockset.
+		w.summarizeFuncLit(e, ls)
+		return ls
+
+	case *ast.GoStmt:
+		return ls
+
+	case *ast.DeferStmt:
+		return w.walkDefer(e, ls)
+
+	case *ast.SelectorExpr:
+		ls = w.scanExpr(e.X, ls, scanCtx{})
+		w.checkGuardedAccess(e, ls, ctx.write)
+		return ls
+
+	case *ast.Ident, *ast.BasicLit:
+		return ls
+
+	case *ast.KeyValueExpr:
+		// Composite-literal keys are field names, not accesses.
+		return w.scanExpr(e.Value, ls, scanCtx{})
+
+	case *ast.IndexExpr:
+		ls = w.scanExpr(e.X, ls, ctx)
+		return w.scanExpr(e.Index, ls, scanCtx{})
+
+	case *ast.BlockStmt:
+		// Nested blocks appear as single CFG nodes only when dead;
+		// walk them anyway for event completeness.
+		for _, st := range e.List {
+			ls = w.scanExpr(st, ls, scanCtx{})
+		}
+		return ls
+	}
+
+	// Default: walk all children with a neutral context.
+	var children []ast.Node
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil || c == n {
+			return c == n
+		}
+		children = append(children, c)
+		return false
+	})
+	for _, c := range children {
+		ls = w.scanExpr(c, ls, ctx)
+	}
+	return ls
+}
+
+// scanCall handles Lock/Unlock calls, builtin write-through calls
+// (delete), and module-call events.
+func (w *locksetWalker) scanCall(call *ast.CallExpr, ls lockset) lockset {
+	// Builtin delete(m, k) writes its first argument's map.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" && len(call.Args) == 2 {
+		ls = w.scanExpr(call.Args[0], ls, scanCtx{write: true})
+		return w.scanExpr(call.Args[1], ls, scanCtx{})
+	}
+
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && len(call.Args) == 0 {
+		if op := w.syncLockOp(sel); op != "" {
+			return w.applyLockOp(op, sel.X, call.Pos(), ls, false)
+		}
+	}
+
+	// Walk receiver and args first (they evaluate before the call).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		ls = w.scanExpr(sel.X, ls, scanCtx{})
+	}
+	for _, a := range call.Args {
+		ls = w.scanExpr(a, ls, scanCtx{})
+	}
+
+	if callees := w.m.resolveCallees(w.pkg, call); len(callees) > 0 {
+		var recv ast.Expr
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if w.pkg.Info.Selections[sel] != nil {
+				recv = sel.X
+			}
+		}
+		w.fa.calls = append(w.fa.calls, callEvent{
+			callees:  callees,
+			held:     ls.clone(),
+			pos:      call.Pos(),
+			pkg:      w.pkg,
+			recvExpr: recv,
+		})
+	}
+	return ls
+}
+
+// syncLockOp reports "Lock"/"Unlock"/"RLock"/"RUnlock" when sel is a
+// method of sync.Mutex or sync.RWMutex, else "".
+func (w *locksetWalker) syncLockOp(sel *ast.SelectorExpr) string {
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return ""
+	}
+	fn, _ := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return ""
+	}
+	return name
+}
+
+// applyLockOp updates the lockset for one Lock/Unlock call. asDefer
+// marks the release pending rather than removing the lock.
+func (w *locksetWalker) applyLockOp(op string, lockExpr ast.Expr, pos token.Pos, ls lockset, asDefer bool) lockset {
+	path := renderPath(lockExpr)
+	root := rootObjOf(w.pkg, lockExpr)
+	if path == "" {
+		// A lock reached through an index or call: beyond per-instance
+		// tracking; ignore rather than guess.
+		return ls
+	}
+	h := heldLock{
+		root:   root,
+		path:   path,
+		typeID: typeIDFor(w.pkg, lockExpr),
+		rlock:  op == "RLock",
+		pos:    pos,
+	}
+	switch op {
+	case "Lock", "RLock":
+		w.fa.acquires = append(w.fa.acquires, lockEvent{lock: h, held: ls.clone(), pkg: w.pkg})
+		if _, already := ls.find(h.instKey()); already {
+			// Re-acquiring a held instance: a self-deadlock at runtime;
+			// lockorder reports it via the acquire event's held set.
+			return ls
+		}
+		return ls.with(h)
+	case "Unlock", "RUnlock":
+		if asDefer {
+			out := ls.clone()
+			for i := range out {
+				if out[i].instKey() == h.instKey() {
+					out[i].deferred = true
+				}
+			}
+			return out
+		}
+		out, found := ls.without(h.instKey())
+		if !found {
+			w.fa.unlockErr = append(w.fa.unlockErr, unlockFault{path: path, pos: pos})
+		}
+		return out
+	}
+	return ls
+}
+
+// walkDefer handles defer statements: deferred unlocks mark their lock
+// pending-release; a deferred func literal is scanned for the unlocks
+// it performs; any other deferred module call is recorded as a call
+// event (it runs at exit, but under at most these locks).
+func (w *locksetWalker) walkDefer(d *ast.DeferStmt, ls lockset) lockset {
+	call := d.Call
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && len(call.Args) == 0 {
+		if op := w.syncLockOp(sel); op == "Unlock" || op == "RUnlock" {
+			return w.applyLockOp(op, sel.X, call.Pos(), ls, true)
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		// Mark every lock the deferred closure unlocks.
+		out := ls
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if _, isGo := n.(*ast.GoStmt); isGo {
+				return false
+			}
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+			if !ok || len(c.Args) != 0 {
+				return true
+			}
+			if op := w.syncLockOp(sel); op == "Unlock" || op == "RUnlock" {
+				out = w.applyLockOp(op, sel.X, c.Pos(), out, true)
+			}
+			return true
+		})
+		return out
+	}
+	if callees := w.m.resolveCallees(w.pkg, call); len(callees) > 0 {
+		var recv ast.Expr
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if w.pkg.Info.Selections[sel] != nil {
+				recv = sel.X
+			}
+		}
+		w.fa.calls = append(w.fa.calls, callEvent{
+			callees: callees, held: ls.clone(), pos: call.Pos(), pkg: w.pkg, recvExpr: recv,
+		})
+	}
+	return ls
+}
+
+// summarizeFuncLit contributes a non-go closure's acquires and resolved
+// calls to the enclosing function's summary at the literal's position.
+func (w *locksetWalker) summarizeFuncLit(lit *ast.FuncLit, ls lockset) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.FuncLit:
+			return nn == lit
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(nn.Fun).(*ast.SelectorExpr); ok && len(nn.Args) == 0 {
+				if op := w.syncLockOp(sel); op == "Lock" || op == "RLock" {
+					path := renderPath(sel.X)
+					if path != "" {
+						h := heldLock{
+							root:   rootObjOf(w.pkg, sel.X),
+							path:   path,
+							typeID: typeIDFor(w.pkg, sel.X),
+							rlock:  op == "RLock",
+							pos:    nn.Pos(),
+						}
+						w.fa.acquires = append(w.fa.acquires, lockEvent{lock: h, held: ls.clone(), pkg: w.pkg})
+					}
+					return true
+				}
+				if op := w.syncLockOp(sel); op != "" {
+					return true
+				}
+			}
+			if callees := w.m.resolveCallees(w.pkg, nn); len(callees) > 0 {
+				w.fa.calls = append(w.fa.calls, callEvent{
+					callees: callees, held: ls.clone(), pos: nn.Pos(), pkg: w.pkg,
+				})
+			}
+		}
+		return true
+	})
+}
+
+// checkGuardedAccess records an access event when sel resolves to an
+// annotated field accessed through a plain base chain.
+func (w *locksetWalker) checkGuardedAccess(sel *ast.SelectorExpr, ls lockset, write bool) {
+	id := sel.Sel
+	obj := w.pkg.Info.Uses[id]
+	fv, ok := obj.(*types.Var)
+	if !ok || !fv.IsField() {
+		return
+	}
+	spec := w.m.guarded[fv]
+	if spec == nil {
+		return
+	}
+	w.fa.accesses = append(w.fa.accesses, accessEvent{
+		spec:     spec,
+		write:    write,
+		held:     ls.clone(),
+		pos:      sel.Sel.Pos(),
+		pkg:      w.pkg,
+		baseExpr: sel.X,
+	})
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAtomicPlainRaceTwin pins the atomicplain analyzer to ground
+// truth: the fixture under testdata/racetwin mixes an atomic writer
+// with a plain reader of the same field, and BOTH verdicts must agree —
+// the analyzer flags the plain access statically, and the Go race
+// detector reports a DATA RACE when the program actually runs. If the
+// analyzer's definition of "racy" ever drifts from the runtime's, this
+// test breaks.
+func TestAtomicPlainRaceTwin(t *testing.T) {
+	dir := filepath.Join("testdata", "racetwin")
+
+	// Static half: atomicplain must produce exactly the want'd finding.
+	problems, err := CheckGolden(dir, NewAtomicPlain())
+	if err != nil {
+		t.Fatalf("CheckGolden(racetwin): %v", err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Runtime half: the same program must trip the race detector.
+	if testing.Short() {
+		t.Skip("skipping go run -race in -short mode")
+	}
+	cmd := exec.Command("go", "run", "-race", "main.go")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GORACE=halt_on_error=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("race twin ran clean under -race; the static finding has no runtime counterpart:\n%s", out)
+	}
+	if !strings.Contains(string(out), "DATA RACE") {
+		t.Fatalf("race twin failed without a DATA RACE report: %v\n%s", err, out)
+	}
+}

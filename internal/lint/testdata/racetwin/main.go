@@ -1,0 +1,41 @@
+// The runtime twin of the atomicplain fixture: the same mixed
+// atomic/plain access pattern the analyzer flags statically, arranged
+// so the Go race detector provably catches it at runtime — evidence
+// the invariant is a real race, not a style preference. The
+// racetwin_test in internal/lint runs this under `go run -race` and
+// asserts a DATA RACE report, and runs atomicplain over this tree and
+// asserts the static finding, so the two verdicts can never drift
+// apart silently.
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+type counter struct {
+	hits int64
+}
+
+func main() {
+	c := &counter{}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100000; i++ {
+			atomic.AddInt64(&c.hits, 1)
+		}
+		close(done)
+	}()
+	// Plain-read the field until the atomic writer finishes: the two
+	// accesses are unordered, so the race detector must flag the pair.
+	var last int64
+	for {
+		select {
+		case <-done:
+			fmt.Println("last observed:", last, "final:", atomic.LoadInt64(&c.hits))
+			return
+		default:
+			last = c.hits // want "field hits is accessed atomically at main.go:25; this plain access races with it"
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Package atomicplain seeds the mixed atomic/plain access hazard: once
+// any code touches a field through sync/atomic, every plain access of
+// that field anywhere in the module is a data race. The element-atomic
+// slice shape (a bitstate table's words) permits header-only uses —
+// len/cap and whole-slice assignment in a constructor — but not plain
+// indexing.
+package atomicplain
+
+import "sync/atomic"
+
+type Counter struct {
+	hits  int64    // field-atomic: &c.hits reaches atomic.AddInt64
+	words []uint64 // element-atomic: &c.words[i] reaches atomic.LoadUint64
+	cold  int64    // never touched atomically; plain access is fine
+}
+
+func NewCounter(n int) *Counter {
+	c := &Counter{}
+	c.words = make([]uint64, n) // whole-slice assignment: allowed
+	return c
+}
+
+func (c *Counter) Hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *Counter) Test(i int) bool {
+	w := i / 64
+	if w >= len(c.words) { // len of the slice header: allowed
+		return false
+	}
+	return atomic.LoadUint64(&c.words[w])&(1<<(i%64)) != 0
+}
+
+func (c *Counter) Set(i int) {
+	atomic.OrUint64(&c.words[i/64], 1<<(i%64))
+}
+
+// Snapshot reads the counter without atomic: the classic
+// Histogram.Sum hazard.
+func (c *Counter) Snapshot() int64 {
+	return c.hits // want "field hits is accessed atomically at fixture.go:24; this plain access races with it"
+}
+
+// Reset writes it plainly, which is just as racy.
+func (c *Counter) Reset() {
+	c.hits = 0 // want "field hits is accessed atomically at fixture.go:24; this plain access races with it"
+}
+
+// PeekWord indexes the element-atomic slice plainly.
+func (c *Counter) PeekWord(w int) uint64 {
+	return c.words[w] // want "field words is indexed atomically at fixture.go:32; this plain access races with it"
+}
+
+func (c *Counter) Cold() int64 {
+	c.cold++
+	return c.cold
+}

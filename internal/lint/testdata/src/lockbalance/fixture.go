@@ -1,0 +1,105 @@
+// Package lockbalance seeds the missing-Unlock bug classes: an early
+// return that skips the release, a closure that acquires and never
+// releases, and an unlock with no matching lock. Balanced shapes —
+// defer-based release, panic paths, loop-body lock/unlock, deferred
+// closure release — must stay clean.
+package lockbalance
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// EarlyReturn skips the Unlock on the b path — the bug class this
+// analyzer exists for.
+func (s *S) EarlyReturn(b bool) {
+	s.mu.Lock()
+	if b {
+		return // want "returns still holding s.mu"
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// DeferOK releases via defer on every path.
+func (s *S) DeferOK(b bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b {
+		return
+	}
+	s.n++
+}
+
+// PanicOK: panicking paths run deferred unlocks during the unwind and
+// are exempt even without a defer — the lock dies with the goroutine.
+func (s *S) PanicOK(b bool) {
+	s.mu.Lock()
+	if b {
+		panic("giving up")
+	}
+	s.mu.Unlock()
+}
+
+// LoopOK locks and unlocks per iteration.
+func (s *S) LoopOK(xs []int) {
+	for range xs {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// DeferClosureOK releases through a deferred closure.
+func (s *S) DeferClosureOK() {
+	s.mu.Lock()
+	defer func() {
+		s.n = 0
+		s.mu.Unlock()
+	}()
+	s.n++
+}
+
+// LeakyClosure is checked standalone: it acquires and returns holding.
+func (s *S) LeakyClosure() func() {
+	return func() {
+		s.mu.Lock()
+		s.n++
+	} // want "returns still holding s.mu"
+}
+
+// ReleaseOnlyClosure unlocks a captured lock: closures are not blamed
+// for negative balance (the matching Lock is the caller's).
+func (s *S) ReleaseOnlyClosure() func() {
+	return func() {
+		s.mu.Unlock()
+	}
+}
+
+// DoubleUnlock releases a lock it never took.
+func (s *S) DoubleUnlock() {
+	s.mu.Unlock() // want "unlocking s.mu, which is not held"
+}
+
+// handoff releases a lock every caller holds at entry (inferred from
+// the call sites below): asymmetric lock handling is a finding.
+func (s *S) handoff() {
+	s.n++
+	s.mu.Unlock()
+	return // want "returns after releasing s.mu, which callers hold across this call"
+}
+
+// The callers are flagged too: the engine does not model the callee's
+// release, so from the caller's side the lock looks leaked — the pair
+// of findings points at both halves of the asymmetric pattern.
+func (s *S) UseHandoff() {
+	s.mu.Lock()
+	s.handoff()
+} // want "returns still holding s.mu"
+
+func (s *S) UseHandoffAgain() {
+	s.mu.Lock()
+	s.handoff()
+} // want "returns still holding s.mu"

@@ -1,0 +1,72 @@
+// Package lockorder seeds a lock-order cycle modeled on the governor
+// migration shape: a Governor that calls into its Table while holding
+// g.mu, and a Table callback that re-enters the Governor while holding
+// t.mu. Either order alone is fine; both together deadlock two
+// goroutines that interleave.
+package lockorder
+
+import "sync"
+
+type Governor struct {
+	mu  sync.Mutex
+	set *Table
+}
+
+type Table struct {
+	mu  sync.Mutex
+	gov *Governor
+	n   int
+}
+
+// Maybe holds g.mu across the evict call — edge Governor.mu → Table.mu.
+func (g *Governor) Maybe() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.set.evict() // want "acquiring lockorder.Table.mu while holding lockorder.Governor.mu completes a lock-order cycle"
+}
+
+func (t *Table) evict() {
+	t.mu.Lock()
+	t.n--
+	t.mu.Unlock()
+}
+
+// Grow holds t.mu across the notify call — edge Table.mu → Governor.mu,
+// closing the cycle.
+func (t *Table) Grow() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n++
+	t.gov.notify() // want "acquiring lockorder.Governor.mu while holding lockorder.Table.mu completes a lock-order cycle"
+}
+
+func (g *Governor) notify() {
+	g.mu.Lock()
+	g.mu.Unlock()
+}
+
+// Relock re-acquires the very same instance: a guaranteed self-deadlock
+// on Go's non-reentrant mutexes.
+func (t *Table) Relock() {
+	t.mu.Lock()
+	t.mu.Lock() // want "re-acquiring lockorder.Table.mu while already holding it deadlocks"
+	t.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// CloseThenCall releases its own lock before re-entering the peer —
+// the stream.Subscriber.Close shape. Flow-sensitivity means this
+// contributes no Table.mu → Governor.mu edge beyond Grow's.
+type Peer struct {
+	mu   sync.Mutex
+	done bool
+}
+
+func (p *Peer) Close(g *Governor) {
+	p.mu.Lock()
+	p.done = true
+	p.mu.Unlock()
+	// Lockset is empty here: no Peer.mu → Governor.mu edge, so Peer.mu
+	// is not part of any cycle and this call is not a finding.
+	g.notify()
+}

@@ -1,0 +1,32 @@
+// Package unusedignore seeds the stale-suppression bug class: a
+// justified //lint:ignore that suppresses a real finding is fine, but
+// one whose analyzer reports nothing on its lines has outlived the
+// code it excused and is itself a finding. Reason-less directives stay
+// inert (they never suppressed anything, so they are not "unused").
+package unusedignore
+
+import "time"
+
+// A used suppression: walltime would flag time.Now here.
+//
+//lint:ignore walltime this fixture exercises a justified suppression
+var now = time.Now()
+
+// A stale suppression: nothing on this line trips walltime anymore.
+//
+//lint:ignore walltime the wall-clock call below was removed long ago // want "unused lint:ignore directive: no walltime finding on this line"
+var epoch = int64(0)
+
+// A stale wildcard is reported the same way.
+//
+//lint:ignore all nothing here needs suppressing // want "unused lint:ignore directive: no finding on this line"
+var zero = 0
+
+// A directive for an analyzer that is not running is out of scope, not
+// stale — golden runs use analyzer subsets.
+//
+//lint:ignore maporder this analyzer is not part of this golden run
+var one = 1
+
+//lint:ignore
+var reasonless = time.Now() // want "reads the wall clock"

@@ -44,7 +44,7 @@ import (
 type Cancel struct {
 	fired  atomic.Bool
 	mu     sync.Mutex
-	reason string
+	reason string // guarded by mu
 }
 
 // NewCancel returns a fresh, uncanceled token.

@@ -10,7 +10,7 @@ import (
 
 type compactShard struct {
 	mu sync.Mutex
-	m  map[uint64]int32 // fingerprint -> shallowest depth expanded at
+	m  map[uint64]int32 // guarded by mu; fingerprint -> shallowest depth expanded at
 }
 
 // Compact is Wolper/Leroy hash compaction: each state is reduced to a

@@ -11,7 +11,7 @@ import (
 
 type exactShard struct {
 	mu sync.Mutex
-	m  map[abstraction.State]int // state -> shallowest depth expanded at
+	m  map[abstraction.State]int // guarded by mu; state -> shallowest depth expanded at
 }
 
 // Exact is the full-fidelity table: the sharded state→depth map the

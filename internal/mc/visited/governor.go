@@ -44,11 +44,11 @@ type GovernorConfig struct {
 // unconditionally on its hot path.
 type Governor struct {
 	set  *Set
-	cfg  GovernorConfig
 	mu   sync.Mutex
-	done atomic.Bool // reached bitstate; no further relief possible
+	cfg  GovernorConfig // guarded by mu
+	done atomic.Bool    // reached bitstate; no further relief possible
 
-	evictRounds int
+	evictRounds int // guarded by mu
 	evictions   atomic.Int64
 	downgrades  atomic.Int64
 }

@@ -19,18 +19,18 @@ import (
 // a re-charge of surviving entries, so no double-charge on rehash).
 type Set struct {
 	mu    sync.RWMutex // guards table identity; Visit/Seed hold RLock
-	table Table
+	table Table        // guarded by mu
 
 	novel atomic.Int64 // discoveries (excludes seeds), stable across migration
 
-	// memMu guards mems and charged. charged is the per-model bytes
+	// memMu orders the ledger below mu. charged is the per-model bytes
 	// billed so far; the invariant charged == table.Bytes() holds at
 	// every quiescent point.
 	memMu   sync.Mutex
-	mems    []*memmodel.Model
-	charged int64
+	mems    []*memmodel.Model // guarded by memMu
+	charged int64             // guarded by memMu
 
-	gov *Governor
+	gov *Governor // guarded by mu
 }
 
 // NewSet wraps a backend table. A nil table gets a fresh exact one.

@@ -112,9 +112,9 @@ type Hub struct {
 	now atomic.Pointer[func() time.Duration]
 
 	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters   map[string]*Counter   // guarded by mu
+	gauges     map[string]*Gauge     // guarded by mu
+	histograms map[string]*Histogram // guarded by mu
 
 	tracer tracer
 }

@@ -15,8 +15,8 @@ import (
 // safe for concurrent use and safe on a nil receiver.
 type Heatmap struct {
 	mu     sync.Mutex
-	writes int // max writes observed in any window, for column extent
-	cells  map[heatKey]*heatCounts
+	writes int                     // guarded by mu; max writes observed in any window, for column extent
+	cells  map[heatKey]*heatCounts // guarded by mu
 }
 
 type heatKey struct {

@@ -149,10 +149,10 @@ type Bus struct {
 	dropped atomic.Int64
 
 	mu         sync.Mutex
-	subs       []*Subscriber
-	workers    map[int]*workerState
-	staleAfter time.Duration
-	dropCtr    *obs.Counter // obs.stream.dropped, when a hub is attached
+	subs       []*Subscriber        // guarded by mu
+	workers    map[int]*workerState // guarded by mu
+	staleAfter time.Duration        // guarded by mu
+	dropCtr    *obs.Counter         // guarded by mu; obs.stream.dropped, when a hub is attached
 }
 
 // New returns an empty bus.
@@ -260,10 +260,10 @@ type Subscriber struct {
 	notify  chan struct{}
 
 	mu     sync.Mutex
-	buf    []Event // ring
-	head   int     // index of the oldest buffered event
-	count  int
-	closed bool
+	buf    []Event // guarded by mu; ring
+	head   int     // guarded by mu; index of the oldest buffered event
+	count  int     // guarded by mu
+	closed bool    // guarded by mu
 }
 
 // push appends ev to the ring (called under the bus lock, but the ring

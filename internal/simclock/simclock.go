@@ -23,7 +23,7 @@ import (
 // The zero value is a valid clock at time zero.
 type Clock struct {
 	mu  sync.Mutex
-	now time.Duration
+	now time.Duration // guarded by mu
 }
 
 // New returns a clock starting at virtual time zero.

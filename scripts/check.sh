@@ -27,11 +27,14 @@
 #      "bug" cell, and the same run without -crash   replay -> shrink)
 #      stays clean
 #   9. mcfslint ./...                                (domain static
-#                                                    analysis: checkpoint
-#                                                    leaks, map-order
-#                                                    nondeterminism, wall
-#                                                    time, dropped errnos,
-#                                                    nil-obs safety)
+#      plus: -list and -json must name the            analysis: checkpoint
+#      full nine-analyzer suite, so a registry        leaks, map-order
+#      regression can't silently drop the             nondeterminism, wall
+#      flow-sensitive analyzers (lockorder,           time, dropped errnos,
+#      guardedby, atomicplain, lockbalance)           nil-obs safety, lock
+#                                                    order/balance, guarded
+#                                                    fields, atomic/plain
+#                                                    mixing)
 #  10. bench regression gate: fsbench -json at a     (speed claims are
 #      smoke budget, diffed against the committed     tracked, not
 #      BENCH_mc.json at a loose tolerance             asserted; a rate
@@ -106,8 +109,21 @@ rc=0
 
 echo "==> mcfslint ./... (domain static analysis)"
 go build -o "$work/mcfslint" ./cmd/mcfslint
-"$work/mcfslint" ./... || {
-	echo "FAIL: mcfslint reported findings (see above)"; exit 1; }
+# The registered suite must stay complete: -list and the -json envelope
+# both name every analyzer, so dropping one from Analyzers() fails here
+# even while the module itself is finding-free.
+for a in checkpointleak maporder walltime errnodrop nilobs \
+		lockorder guardedby atomicplain lockbalance; do
+	"$work/mcfslint" -list | grep -q "^$a " || {
+		echo "FAIL: mcfslint -list does not register analyzer '$a'"; exit 1; }
+done
+"$work/mcfslint" -json ./... >"$work/lint.json" || {
+	echo "FAIL: mcfslint reported findings:"; cat "$work/lint.json"; exit 1; }
+for a in checkpointleak maporder walltime errnodrop nilobs \
+		lockorder guardedby atomicplain lockbalance; do
+	grep -q "\"$a\"" "$work/lint.json" || {
+		echo "FAIL: mcfslint -json envelope does not name analyzer '$a'"; exit 1; }
+done
 
 echo "==> bench regression gate (fsbench -json vs committed BENCH_mc.json)"
 # Smoke budget (150 ops/scenario) against the committed 400-op point:
